@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness (one benchmark per paper artefact)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_summary
+from repro.workloads.dblp import generate_dblp_document
+from repro.workloads.xmark import generate_xmark_document, xmark_query_patterns
+
+
+@pytest.fixture(scope="session")
+def xmark_summary_bench():
+    """The XMark summary shared by the Figure 13 / 15 benchmarks."""
+    return build_summary(generate_xmark_document(scale=1.5, seed=548, name="xmark-bench"))
+
+
+@pytest.fixture(scope="session")
+def dblp_summary_bench():
+    """The DBLP'05 summary used by the Figure 14 benchmark."""
+    return build_summary(generate_dblp_document("2005", scale=2.0, seed=5, name="dblp-bench"))
+
+
+@pytest.fixture(scope="session")
+def xmark_queries_bench():
+    """The 20 XMark query patterns."""
+    return xmark_query_patterns()

@@ -1,0 +1,47 @@
+"""Benchmark for Figure 14: containment on the DBLP summary plus the
+optional-edge ablation (0% vs 50% optional edges)."""
+
+import pytest
+
+from repro.experiments.fig13 import run_fig13_synthetic_containment
+from repro.experiments.fig14 import print_fig14, run_fig14
+
+
+@pytest.mark.benchmark(group="fig14")
+@pytest.mark.parametrize("optional_probability", [0.0, 0.5])
+def test_fig14_optional_edge_ablation(benchmark, dblp_summary_bench, optional_probability):
+    """Containment time with and without optional edges (the ~2x claim)."""
+    rows = benchmark.pedantic(
+        run_fig13_synthetic_containment,
+        kwargs={
+            "summary": dblp_summary_bench,
+            "sizes": (3, 5),
+            "return_counts": (1,),
+            "patterns_per_size": 3,
+            "return_labels": ("author", "title", "year"),
+            "optional_probability": optional_probability,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert rows
+    total = sum(row.positive_seconds + row.negative_seconds for row in rows)
+    print(f"\noptional probability {optional_probability}: total {total * 1000:.2f} ms")
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_full_report(benchmark, dblp_summary_bench):
+    """Print the full Figure 14 report once."""
+    result = benchmark.pedantic(
+        run_fig14,
+        kwargs={
+            "summary": dblp_summary_bench,
+            "sizes": (3, 5),
+            "return_counts": (1,),
+            "patterns_per_size": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_fig14(result)

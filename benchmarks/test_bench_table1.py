@@ -1,0 +1,33 @@
+"""Benchmark for Table 1: document generation + summary construction.
+
+The measured quantity is the summary-construction pass (the paper stresses
+that strong Dataguides are built in linear time); the printed rows are the
+Table 1 statistics for every corpus.
+"""
+
+import pytest
+
+from repro import build_summary, summarize
+from repro.experiments.table1 import TABLE1_DOCUMENTS, print_table1, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_summary_construction(benchmark):
+    """Time the construction of the XMark summary (the largest corpus)."""
+    generator = dict(TABLE1_DOCUMENTS)["XMark111"]
+    document = generator(1.0)
+
+    summary = benchmark(build_summary, document)
+
+    stats = summarize(document, summary)
+    assert stats.summary_size <= stats.document_size
+    assert stats.strong_edges >= stats.one_to_one_edges
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_all_rows(benchmark):
+    """Regenerate every Table 1 row (document generation + summarisation)."""
+    rows = benchmark.pedantic(run_table1, kwargs={"scale": 0.6}, rounds=1, iterations=1)
+    assert len(rows) == len(TABLE1_DOCUMENTS)
+    print()
+    print_table1(rows)

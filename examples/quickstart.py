@@ -1,0 +1,61 @@
+"""Quickstart: summaries, views, containment and rewriting in ten minutes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    MaterializedView,
+    Rewriter,
+    build_summary,
+    evaluate_pattern,
+    is_contained,
+    parse_parenthesized,
+    parse_pattern,
+)
+
+
+def main() -> None:
+    # 1. an XML document (compact parenthesized notation; parse_xml_string
+    #    accepts regular XML markup as well)
+    document = parse_parenthesized(
+        'site(regions(asia('
+        'item(name="pen" description(parlist(listitem(keyword="columbus"))) mailbox(mail(from="bob")))'
+        'item(name="ink" description(parlist(listitem(keyword="gold"))))'
+        ')))',
+        name="catalog",
+    )
+    print(f"document: {document}")
+
+    # 2. its structural summary (strong Dataguide) — one node per distinct path
+    summary = build_summary(document)
+    print(f"summary : {summary.size} nodes, {summary.strong_edge_count} strong edges")
+
+    # 3. tree patterns: the view stores item IDs with their names; the query
+    #    asks for exactly that
+    view_pattern = parse_pattern("site(//item[ID](/name[V]))", name="item_names")
+    query = parse_pattern("site(//item[ID](/name[V], /description))", name="query")
+
+    # 4. containment under the summary: every item has a description here, so
+    #    the query's extra branch is implied and the two patterns coincide
+    print("query ⊆S view :", is_contained(query, view_pattern, summary, check_attributes=False))
+    print("view ⊆S query :", is_contained(view_pattern, query, summary, check_attributes=False))
+
+    # 5. materialise the view and rewrite the query over it
+    view = MaterializedView(view_pattern, document, name="item_names")
+    rewriter = Rewriter(summary, [view])
+    outcome = rewriter.rewrite(query)
+    print(f"\nrewritings found: {len(outcome.rewritings)}")
+    print(outcome.best.describe())
+
+    # 6. execute the rewriting and compare with direct evaluation
+    from_views = rewriter.execute(outcome.best)
+    direct = evaluate_pattern(query, document)
+    print("\nanswer from the materialised view:")
+    print(from_views.to_table())
+    print("\nmatches direct evaluation:", from_views.same_contents(direct))
+
+
+if __name__ == "__main__":
+    main()

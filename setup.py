@@ -1,0 +1,5 @@
+"""Setuptools shim for environments that cannot run PEP 660 editable builds."""
+
+from setuptools import setup
+
+setup()

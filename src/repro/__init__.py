@@ -1,0 +1,126 @@
+"""repro — structured materialized views for XML queries.
+
+A from-scratch reproduction of *Structured Materialized Views for XML
+Queries* (Manolescu, Benzaken, Arion, Papakonstantinou; the ULoad system):
+Dataguide-constrained tree-pattern containment and sound-and-complete
+view-based rewriting for an extended tree-pattern language covering a large
+XQuery subset, together with an execution engine for the produced algebraic
+plans and the paper's full experimental harness.
+
+Typical usage::
+
+    from repro import (
+        parse_xml_string, build_summary, parse_pattern,
+        is_contained, MaterializedView, Rewriter,
+    )
+
+    doc = parse_xml_string(open("catalog.xml").read())
+    summary = build_summary(doc)
+    view = MaterializedView(parse_pattern("site(//item[ID,V])"), doc)
+    query = parse_pattern("site(//item[ID,V](/name))")
+    rewriter = Rewriter(summary, [view])
+    result = rewriter.rewrite(query)
+"""
+
+from repro.errors import (
+    AlgebraError,
+    ContainmentError,
+    PatternError,
+    PatternParseError,
+    PredicateError,
+    ReproError,
+    RewritingError,
+    SummaryError,
+    WorkloadError,
+    XMLError,
+    XMLParseError,
+)
+from repro.xmltree import (
+    DeweyID,
+    XMLDocument,
+    XMLNode,
+    element,
+    generate_random_document,
+    parse_parenthesized,
+    parse_xml_file,
+    parse_xml_string,
+    to_parenthesized,
+    to_xml_string,
+    tree,
+)
+from repro.summary import Summary, SummaryStatistics, build_summary, summarize, summary_from_paths
+from repro.patterns import (
+    Axis,
+    PatternNode,
+    TreePattern,
+    ValueFormula,
+    evaluate_pattern,
+    find_embeddings,
+    parse_pattern,
+    xpath_to_pattern,
+    xquery_to_pattern,
+)
+from repro.canonical import annotate_paths, canonical_model, is_satisfiable
+from repro.containment import are_equivalent, is_contained, is_contained_in_union
+from repro.algebra import Relation
+from repro.views import MaterializedView, ViewSet
+from repro.rewriting import Rewriter, Rewriting
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "XMLError",
+    "XMLParseError",
+    "SummaryError",
+    "PatternError",
+    "PatternParseError",
+    "PredicateError",
+    "ContainmentError",
+    "AlgebraError",
+    "RewritingError",
+    "WorkloadError",
+    # xml substrate
+    "DeweyID",
+    "XMLDocument",
+    "XMLNode",
+    "element",
+    "tree",
+    "parse_parenthesized",
+    "parse_xml_file",
+    "parse_xml_string",
+    "to_parenthesized",
+    "to_xml_string",
+    "generate_random_document",
+    # summaries
+    "Summary",
+    "SummaryStatistics",
+    "build_summary",
+    "summarize",
+    "summary_from_paths",
+    # patterns
+    "Axis",
+    "PatternNode",
+    "TreePattern",
+    "ValueFormula",
+    "parse_pattern",
+    "xpath_to_pattern",
+    "xquery_to_pattern",
+    "find_embeddings",
+    "evaluate_pattern",
+    # canonical model / containment
+    "annotate_paths",
+    "canonical_model",
+    "is_satisfiable",
+    "is_contained",
+    "is_contained_in_union",
+    "are_equivalent",
+    # algebra / views / rewriting
+    "Relation",
+    "MaterializedView",
+    "ViewSet",
+    "Rewriter",
+    "Rewriting",
+    "__version__",
+]

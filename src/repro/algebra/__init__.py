@@ -1,0 +1,48 @@
+"""Nested-relational algebra over materialised tree-pattern views.
+
+The rewriting algorithm (Section 3.2) produces *logical plans* built from
+view scans, identifier-equality joins, structural joins, nested structural
+joins, projections, selections, unions and a handful of navigation operators
+(Section 4.6).  This package provides
+
+* the nested-relation data model shared by pattern evaluation, view
+  materialisation and plan execution (:mod:`repro.algebra.tuples`),
+* the logical operator classes (:mod:`repro.algebra.operators`), and
+* an executor that evaluates a logical plan over a set of materialised views
+  (:mod:`repro.algebra.execution`).
+"""
+
+from repro.algebra.tuples import Column, Relation
+from repro.algebra.operators import (
+    ContentNavigation,
+    GroupBy,
+    IdEqualityJoin,
+    NestedStructuralJoin,
+    ParentIdDerivation,
+    PlanOperator,
+    Projection,
+    Selection,
+    StructuralJoin,
+    UnionPlan,
+    Unnest,
+    ViewScan,
+)
+from repro.algebra.execution import PlanExecutor
+
+__all__ = [
+    "Column",
+    "Relation",
+    "PlanOperator",
+    "ViewScan",
+    "IdEqualityJoin",
+    "StructuralJoin",
+    "NestedStructuralJoin",
+    "Projection",
+    "Selection",
+    "Unnest",
+    "GroupBy",
+    "ContentNavigation",
+    "ParentIdDerivation",
+    "UnionPlan",
+    "PlanExecutor",
+]

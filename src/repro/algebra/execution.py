@@ -1,0 +1,323 @@
+"""Execution of logical plans over materialised views.
+
+The :class:`PlanExecutor` interprets a tree of
+:class:`~repro.algebra.operators.PlanOperator` against a view store (any
+mapping-like object resolving view names to objects exposing ``relation``,
+the view's materialised :class:`~repro.algebra.tuples.Relation`).
+
+Structural joins compare Dewey identifiers, so they work on any view whose
+ID columns were materialised with the default structural ``fID``
+(Section 1, "Exploiting ID properties").
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.algebra.operators import (
+    ContentNavigation,
+    GroupBy,
+    IdEqualityJoin,
+    NestedProjection,
+    NestedStructuralJoin,
+    ParentIdDerivation,
+    PlanOperator,
+    Projection,
+    Selection,
+    StructuralJoin,
+    UnionPlan,
+    Unnest,
+    ViewScan,
+)
+from repro.algebra.tuples import Column, Relation
+from repro.errors import PlanExecutionError
+from repro.patterns.pattern import Axis
+from repro.xmltree.ids import DeweyID
+from repro.xmltree.node import XMLNode
+
+__all__ = ["PlanExecutor"]
+
+
+class PlanExecutor:
+    """Evaluate logical plans against a store of materialised views."""
+
+    def __init__(self, views: Mapping[str, object]):
+        self._views = views
+
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: PlanOperator) -> Relation:
+        """Evaluate ``plan`` and return its result relation."""
+        if isinstance(plan, ViewScan):
+            return self._execute_scan(plan)
+        if isinstance(plan, IdEqualityJoin):
+            return self._execute_id_join(plan)
+        if isinstance(plan, StructuralJoin):
+            return self._execute_structural_join(plan)
+        if isinstance(plan, NestedStructuralJoin):
+            return self._execute_nested_structural_join(plan)
+        if isinstance(plan, Projection):
+            return self._execute_projection(plan)
+        if isinstance(plan, NestedProjection):
+            return self._execute_nested_projection(plan)
+        if isinstance(plan, Selection):
+            return self._execute_selection(plan)
+        if isinstance(plan, Unnest):
+            return self._execute_unnest(plan)
+        if isinstance(plan, GroupBy):
+            return self._execute_group_by(plan)
+        if isinstance(plan, ContentNavigation):
+            return self._execute_content_navigation(plan)
+        if isinstance(plan, ParentIdDerivation):
+            return self._execute_parent_derivation(plan)
+        if isinstance(plan, UnionPlan):
+            return self._execute_union(plan)
+        raise PlanExecutionError(f"unknown plan operator {type(plan).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # leaves
+    # ------------------------------------------------------------------ #
+    def _execute_scan(self, plan: ViewScan) -> Relation:
+        try:
+            view = self._views[plan.view_name]
+        except KeyError as exc:
+            raise PlanExecutionError(f"unknown view {plan.view_name!r}") from exc
+        relation: Relation = view.relation
+        alias = plan.effective_alias
+        qualified = Relation(
+            [column.renamed(f"{alias}.{column.name}") for column in relation.columns]
+        )
+        qualified.rows = list(relation.rows)
+        return qualified
+
+    # ------------------------------------------------------------------ #
+    # joins
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _as_dewey(value) -> Optional[DeweyID]:
+        if value is None:
+            return None
+        if isinstance(value, DeweyID):
+            return value
+        if isinstance(value, XMLNode):
+            return value.dewey
+        if isinstance(value, str):
+            return DeweyID.from_string(value)
+        raise PlanExecutionError(f"value {value!r} is not a structural identifier")
+
+    def _execute_id_join(self, plan: IdEqualityJoin) -> Relation:
+        left = self.execute(plan.left)
+        right = self.execute(plan.right)
+        left_index = left.column_index(plan.left_column)
+        right_index = right.column_index(plan.right_column)
+        result = left.natural_concat(right)
+        by_id: dict[str, list[tuple]] = {}
+        for row in right.rows:
+            identifier = self._as_dewey(row[right_index])
+            if identifier is not None:
+                by_id.setdefault(str(identifier), []).append(row)
+        for left_row in left.rows:
+            identifier = self._as_dewey(left_row[left_index])
+            if identifier is None:
+                continue
+            for right_row in by_id.get(str(identifier), ()):
+                result.rows.append(left_row + right_row)
+        return result
+
+    def _structural_match(self, upper, lower, axis: Axis) -> bool:
+        upper_id = self._as_dewey(upper)
+        lower_id = self._as_dewey(lower)
+        if upper_id is None or lower_id is None:
+            return False
+        if axis is Axis.CHILD:
+            return upper_id.is_parent_of(lower_id)
+        return upper_id.is_ancestor_of(lower_id)
+
+    def _execute_structural_join(self, plan: StructuralJoin) -> Relation:
+        left = self.execute(plan.left)
+        right = self.execute(plan.right)
+        left_index = left.column_index(plan.left_column)
+        right_index = right.column_index(plan.right_column)
+        result = left.natural_concat(right)
+        for left_row in left.rows:
+            for right_row in right.rows:
+                if self._structural_match(
+                    left_row[left_index], right_row[right_index], plan.axis
+                ):
+                    result.rows.append(left_row + right_row)
+        return result
+
+    def _execute_nested_structural_join(self, plan: NestedStructuralJoin) -> Relation:
+        left = self.execute(plan.left)
+        right = self.execute(plan.right)
+        left_index = left.column_index(plan.left_column)
+        right_index = right.column_index(plan.right_column)
+        nested_schema = list(right.columns)
+        result = Relation(list(left.columns) + [Column(plan.group_column, kind="NESTED")])
+        for left_row in left.rows:
+            matches = [
+                right_row
+                for right_row in right.rows
+                if self._structural_match(
+                    left_row[left_index], right_row[right_index], plan.axis
+                )
+            ]
+            if not matches and not plan.keep_unmatched:
+                continue
+            nested = Relation(nested_schema, rows=matches)
+            result.rows.append(left_row + (nested,))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # unary operators
+    # ------------------------------------------------------------------ #
+    def _execute_projection(self, plan: Projection) -> Relation:
+        child = self.execute(plan.child)
+        projected = child.project(list(plan.columns))
+        if plan.renames:
+            projected = projected.rename(dict(plan.renames))
+        return projected
+
+    def _execute_nested_projection(self, plan: NestedProjection) -> Relation:
+        child = self.execute(plan.child)
+        index = child.column_index(plan.nested_column)
+        result = Relation(child.columns)
+        for row in child.rows:
+            value = row[index]
+            if isinstance(value, Relation):
+                projected = value.project(list(plan.columns))
+                if plan.renames:
+                    projected = projected.rename(dict(plan.renames))
+                value = projected
+            result.rows.append(row[:index] + (value,) + row[index + 1 :])
+        return result
+
+    def _execute_selection(self, plan: Selection) -> Relation:
+        child = self.execute(plan.child)
+        index = child.column_index(plan.column)
+        result = Relation(child.columns)
+        for row in child.rows:
+            value = row[index]
+            if isinstance(value, XMLNode):
+                value = value.value
+            if plan.formula.evaluate(value):
+                result.rows.append(row)
+        return result
+
+    def _execute_unnest(self, plan: Unnest) -> Relation:
+        child = self.execute(plan.child)
+        index = child.column_index(plan.nested_column)
+        nested_columns: Optional[list[Column]] = None
+        for row in child.rows:
+            value = row[index]
+            if isinstance(value, Relation):
+                nested_columns = value.columns
+                break
+        if nested_columns is None:
+            nested_columns = []
+        outer_columns = [c for i, c in enumerate(child.columns) if i != index]
+        result = Relation(outer_columns + nested_columns)
+        for row in child.rows:
+            outer = tuple(v for i, v in enumerate(row) if i != index)
+            nested = row[index]
+            if not isinstance(nested, Relation) or not nested.rows:
+                if plan.keep_empty:
+                    result.rows.append(outer + tuple([None] * len(nested_columns)))
+                continue
+            for nested_row in nested.rows:
+                result.rows.append(outer + tuple(nested_row))
+        return result
+
+    def _execute_group_by(self, plan: GroupBy) -> Relation:
+        child = self.execute(plan.child)
+        key_indexes = [child.column_index(name) for name in plan.key_columns]
+        nested_indexes = [child.column_index(name) for name in plan.nested_columns]
+        nested_schema = [child.columns[i] for i in nested_indexes]
+        result = Relation(
+            [child.columns[i] for i in key_indexes]
+            + [Column(plan.group_column, kind="NESTED")]
+        )
+        groups: dict[tuple, list[tuple]] = {}
+        order: list[tuple] = []
+        for row in child.rows:
+            key = tuple(_group_key(row[i]) for i in key_indexes)
+            if key not in groups:
+                groups[key] = []
+                order.append(tuple(row[i] for i in key_indexes))
+            inner = tuple(row[i] for i in nested_indexes)
+            if not all(value is None for value in inner):
+                groups[key].append(inner)
+        for key_values in order:
+            key = tuple(_group_key(value) for value in key_values)
+            nested = Relation(nested_schema, rows=groups[key]).distinct()
+            result.rows.append(tuple(key_values) + (nested,))
+        return result
+
+    def _execute_content_navigation(self, plan: ContentNavigation) -> Relation:
+        child = self.execute(plan.child)
+        index = child.column_index(plan.content_column)
+        result = Relation(
+            list(child.columns) + [Column(plan.new_column, kind=plan.attribute)]
+        )
+        for row in child.rows:
+            content = row[index]
+            matches = self._navigate(content, list(plan.steps))
+            if not matches:
+                if plan.optional:
+                    result.rows.append(row + (None,))
+                continue
+            for node in matches:
+                result.rows.append(row + (self._extract(node, plan.attribute),))
+        return result
+
+    def _navigate(self, content, steps: list[tuple[Axis, str]]) -> list[XMLNode]:
+        if not isinstance(content, XMLNode):
+            return []
+        frontier = [content]
+        for axis, label in steps:
+            next_frontier: list[XMLNode] = []
+            for node in frontier:
+                if axis is Axis.CHILD:
+                    next_frontier.extend(node.children_with_label(label))
+                else:
+                    next_frontier.extend(node.descendants_with_label(label))
+            frontier = next_frontier
+        return frontier
+
+    @staticmethod
+    def _extract(node: XMLNode, attribute: str):
+        if attribute == "ID":
+            return node.dewey
+        if attribute == "L":
+            return node.label
+        if attribute == "V":
+            return node.value
+        return node
+
+    def _execute_parent_derivation(self, plan: ParentIdDerivation) -> Relation:
+        child = self.execute(plan.child)
+        index = child.column_index(plan.id_column)
+        result = Relation(list(child.columns) + [Column(plan.new_column, kind="ID")])
+        for row in child.rows:
+            identifier = self._as_dewey(row[index])
+            derived = None
+            if identifier is not None and identifier.depth > plan.levels_up:
+                derived = identifier.ancestor(plan.levels_up)
+            result.rows.append(row + (derived,))
+        return result
+
+    def _execute_union(self, plan: UnionPlan) -> Relation:
+        if not plan.plans:
+            raise PlanExecutionError("a union plan needs at least one branch")
+        relations = [self.execute(branch) for branch in plan.plans]
+        result = relations[0]
+        for relation in relations[1:]:
+            result = result.union(relation)
+        return result.distinct()
+
+
+def _group_key(value):
+    if isinstance(value, DeweyID):
+        return str(value)
+    if isinstance(value, XMLNode):
+        return ("node", str(value.dewey) if value.dewey else id(value))
+    return value

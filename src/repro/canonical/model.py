@@ -1,0 +1,302 @@
+"""Construction of summary-based canonical models.
+
+For a (possibly decorated / optional) pattern ``p`` and an (enhanced)
+summary ``S``:
+
+* :func:`associated_paths` computes, for every pattern node, the set of
+  summary nodes it can be embedded into (Definition 2.1) with an
+  ``O(|p| * |S|^2)`` dynamic program,
+* :func:`canonical_model` enumerates ``modS(p)``:
+
+  1. for every subset ``F`` of optional edges (Section 4.3), erase the
+     branches hanging below ``F`` and make the remaining edges strict,
+  2. enumerate the embeddings of the resulting conjunctive pattern into
+     ``S``,
+  3. for every embedding build the canonical tree — the image node of every
+     pattern node, plus the parent-child chains connecting the image of a
+     node to the images of its children (Section 2.4; every pattern child
+     gets its own chain, so two pattern nodes mapping to the same summary
+     node stay distinct, as required by Section 4.2),
+  4. decorate the image nodes with the pattern's value formulas
+     (Section 4.2),
+  5. close the tree under strong edges (Section 4.1), and
+  6. keep erased variants only when the optional pattern still has a
+     non-empty result on them (Section 4.3).
+
+Working subset-first (erase, then embed) rather than the paper's
+embed-then-erase order produces a superset of the paper's trees: it also
+covers patterns whose optional branches have *no* image in the summary at
+all, which keeps satisfiability and containment correct for such patterns.
+
+Duplicate canonical trees (different embeddings yielding the same tree) are
+removed.  Nested edges never affect the canonical model; they are handled by
+the nesting-sequence conditions of Proposition 4.2 in
+:mod:`repro.containment`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from repro.canonical.trees import CanonicalNode, CanonicalTree
+from repro.patterns.embedding import EmbeddingMode, iter_embeddings
+from repro.patterns.pattern import Axis, PatternNode, TreePattern
+from repro.patterns.semantics import evaluate_node_tuples
+from repro.summary.dataguide import Summary
+from repro.summary.node import SummaryNode
+
+__all__ = [
+    "associated_paths",
+    "annotate_paths",
+    "canonical_model",
+    "is_satisfiable",
+]
+
+
+# --------------------------------------------------------------------------- #
+# associated paths (Definition 2.1)
+# --------------------------------------------------------------------------- #
+def associated_paths(
+    pattern: TreePattern, summary: Summary
+) -> dict[int, set[SummaryNode]]:
+    """Compute the set of summary nodes associated to every pattern node.
+
+    The result maps ``id(pattern_node)`` to the set of summary nodes ``s``
+    such that some embedding ``e : p → S`` has ``e(n) = s``.  Optional edges
+    are treated as required for the node itself but never prevent the rest of
+    the pattern from embedding (nodes of optional branches without any image
+    simply get an empty path set).  Value predicates are ignored (summary
+    nodes carry no values).
+    """
+    nodes = pattern.nodes()
+    summary_nodes = list(summary.iter_nodes())
+
+    # bottom-up feasibility: can the subtree rooted at pattern node n embed
+    # with n mapped onto summary node s?  Children below optional edges that
+    # cannot embed anywhere do not make their parent infeasible.
+    feasible: dict[int, set[int]] = {}
+    for node in reversed(nodes):
+        images: set[int] = set()
+        for s in summary_nodes:
+            if not node.matches_label(s.label):
+                continue
+            ok = True
+            for child in node.children:
+                candidates = (
+                    s.children if child.axis is Axis.CHILD else list(s.iter_descendants())
+                )
+                child_ok = any(
+                    c.number in feasible.get(id(child), set()) for c in candidates
+                )
+                if not child_ok and not child.optional:
+                    ok = False
+                    break
+            if ok:
+                images.add(s.number)
+        feasible[id(node)] = images
+
+    # top-down restriction to images reachable from the root
+    result: dict[int, set[SummaryNode]] = {id(n): set() for n in nodes}
+    root_summary = summary.root
+    if root_summary.number in feasible[id(pattern.root)]:
+        result[id(pattern.root)].add(root_summary)
+
+    for node in nodes:
+        parent_images = result[id(node)]
+        if not parent_images:
+            continue
+        for child in node.children:
+            child_feasible = feasible[id(child)]
+            allowed: set[SummaryNode] = set()
+            for parent_image in parent_images:
+                candidates = (
+                    parent_image.children
+                    if child.axis is Axis.CHILD
+                    else list(parent_image.iter_descendants())
+                )
+                for candidate in candidates:
+                    if candidate.number in child_feasible:
+                        allowed.add(candidate)
+            result[id(child)] |= allowed
+    return result
+
+
+def annotate_paths(pattern: TreePattern, summary: Summary) -> TreePattern:
+    """Annotate every node of ``pattern`` with its associated summary numbers.
+
+    The annotation is stored in :attr:`PatternNode.annotated_paths` and is
+    used by the rewriting algorithm (Propositions 3.4 and 3.7).  The pattern
+    is modified in place and returned for convenience.
+    """
+    paths = associated_paths(pattern, summary)
+    for node in pattern.nodes():
+        node.annotated_paths = frozenset(s.number for s in paths[id(node)])
+    return pattern
+
+
+# --------------------------------------------------------------------------- #
+# canonical trees
+# --------------------------------------------------------------------------- #
+def _summary_chain(upper: SummaryNode, lower: SummaryNode) -> list[SummaryNode]:
+    """Summary nodes strictly between ``upper`` and ``lower`` (top-down)."""
+    chain = []
+    node = lower.parent
+    while node is not None and node is not upper:
+        chain.append(node)
+        node = node.parent
+    if node is None:
+        raise ValueError(f"{upper!r} is not an ancestor of {lower!r}")
+    chain.reverse()
+    return chain
+
+
+def _build_tree(
+    root_pattern_node: PatternNode,
+    embedding: dict[PatternNode, SummaryNode],
+) -> tuple[CanonicalNode, dict[int, CanonicalNode]]:
+    """Build the canonical tree of one embedding (Section 2.4)."""
+    node_map: dict[int, CanonicalNode] = {}
+
+    def build(pattern_node: PatternNode) -> CanonicalNode:
+        summary_node = embedding[pattern_node]
+        canonical = CanonicalNode(summary_node, formula=pattern_node.predicate)
+        canonical.pattern_node_ids.add(id(pattern_node))
+        node_map[id(pattern_node)] = canonical
+        for child in pattern_node.children:
+            chain = _summary_chain(summary_node, embedding[child])
+            current = canonical
+            for chain_summary in chain:
+                current = current.add_child(CanonicalNode(chain_summary))
+            current.add_child(build(child))
+        return canonical
+
+    return build(root_pattern_node), node_map
+
+
+def _apply_strong_closure(root: CanonicalNode) -> None:
+    """Add the strong-edge closure of every canonical node (Section 4.1)."""
+
+    def add_strong_descendants(canonical: CanonicalNode) -> None:
+        present = {child.summary_node.number for child in canonical.children}
+        for summary_child in canonical.summary_node.children:
+            if summary_child.strong and summary_child.number not in present:
+                new_node = canonical.add_child(CanonicalNode(summary_child))
+                add_strong_descendants(new_node)
+
+    for node in list(root.iter_subtree()):
+        add_strong_descendants(node)
+
+
+def _optional_edge_nodes(pattern: TreePattern) -> list[PatternNode]:
+    """Pattern nodes hanging below an optional edge (the edges' lower ends)."""
+    return [
+        node for node in pattern.nodes() if node.parent is not None and node.optional
+    ]
+
+
+def _erased_variant(
+    pattern: TreePattern, erased_top_positions: tuple[int, ...]
+) -> tuple[TreePattern, dict[int, int]]:
+    """Copy ``pattern``, erase the branches at the given pre-order positions,
+    make every remaining edge strict, and return the copy together with a map
+    from the copy's node ids to the original pre-order positions."""
+    clone = pattern.copy()
+    original_positions = {id(node): pos for pos, node in enumerate(clone.nodes())}
+    clone_nodes = clone.nodes()
+    for position in erased_top_positions:
+        node = clone_nodes[position]
+        if node.parent is not None:
+            node.parent.children.remove(node)
+            node.parent = None
+    position_map: dict[int, int] = {}
+    for node in clone.nodes():
+        node.optional = False
+        node.nested = False
+        position_map[id(node)] = original_positions[id(node)]
+    return clone, position_map
+
+
+def canonical_model(
+    pattern: TreePattern,
+    summary: Summary,
+    use_strong_closure: bool = True,
+    max_trees: Optional[int] = None,
+) -> list[CanonicalTree]:
+    """Compute ``modS(p)`` for a pattern with any combination of extensions.
+
+    ``max_trees`` optionally caps the number of returned trees (used by the
+    experiment harness to keep pathological synthetic patterns in check).
+    """
+    return list(
+        itertools.islice(
+            iter_canonical_model(pattern, summary, use_strong_closure),
+            max_trees,
+        )
+    )
+
+
+def iter_canonical_model(
+    pattern: TreePattern,
+    summary: Summary,
+    use_strong_closure: bool = True,
+) -> Iterator[CanonicalTree]:
+    """Lazily enumerate ``modS(p)`` (see :func:`canonical_model`)."""
+    original_nodes = pattern.nodes()
+    return_positions = [
+        original_nodes.index(node) for node in pattern.return_nodes()
+    ]
+    optional_positions = [
+        original_nodes.index(node) for node in _optional_edge_nodes(pattern)
+    ]
+
+    seen: set[tuple] = set()
+    for erased_size in range(len(optional_positions) + 1):
+        for erased_tops in itertools.combinations(optional_positions, erased_size):
+            variant, position_map = _erased_variant(pattern, erased_tops)
+            variant_by_position = {
+                position_map[id(node)]: node for node in variant.nodes()
+            }
+            for embedding in iter_embeddings(
+                variant, summary.root, EmbeddingMode.SUMMARY
+            ):
+                root, node_map = _build_tree(variant.root, embedding)
+                if use_strong_closure:
+                    _apply_strong_closure(root)
+                return_nodes = []
+                for position in return_positions:
+                    variant_node = variant_by_position.get(position)
+                    if variant_node is None:
+                        return_nodes.append(None)
+                    else:
+                        return_nodes.append(node_map.get(id(variant_node)))
+                tree = CanonicalTree(root, return_nodes)
+                if erased_tops:
+                    # Section 4.3: keep an erased variant only if the optional
+                    # pattern still has a non-empty result on it.
+                    if not evaluate_node_tuples(
+                        pattern, root, EmbeddingMode.DECORATED
+                    ):
+                        continue
+                key = tree.key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield tree
+
+
+def is_satisfiable(pattern: TreePattern, summary: Summary) -> bool:
+    """Satisfiability test: ``p`` is S-satisfiable iff ``modS(p)`` is not empty.
+
+    A pattern is satisfiable exactly when its *required core* (the pattern
+    with every optional branch erased) embeds into the summary, so the test
+    does not materialise the model.
+    """
+    original_nodes = pattern.nodes()
+    optional_positions = tuple(
+        original_nodes.index(node) for node in _optional_edge_nodes(pattern)
+    )
+    core, _ = _erased_variant(pattern, optional_positions)
+    for _ in iter_embeddings(core, summary.root, EmbeddingMode.SUMMARY):
+        return True
+    return False

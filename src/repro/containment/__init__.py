@@ -1,0 +1,28 @@
+"""Pattern containment under structural summary constraints.
+
+The public entry points are
+
+* :func:`is_contained` — ``p ⊆S q`` (Propositions 3.1, 4.1, 4.2 and the
+  decorated refinement of Section 4.2),
+* :func:`is_contained_in_union` — ``p ⊆S q1 ∪ ... ∪ qm`` (Proposition 3.2
+  and the value-coverage condition of Section 4.2),
+* :func:`are_equivalent` — two-way containment (``≡S``).
+
+All tests work uniformly for conjunctive, decorated, optional, attribute and
+nested patterns; the relevant extra conditions are applied automatically
+based on the features the patterns actually use.
+"""
+
+from repro.containment.core import (
+    ContainmentDecision,
+    are_equivalent,
+    is_contained,
+    is_contained_in_union,
+)
+
+__all__ = [
+    "ContainmentDecision",
+    "is_contained",
+    "is_contained_in_union",
+    "are_equivalent",
+]

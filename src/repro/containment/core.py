@@ -1,0 +1,232 @@
+"""Containment deciders (Propositions 3.1, 3.2, 4.1, 4.2 and Section 4.2).
+
+The central test follows the paper's canonical-model characterisation: to
+decide ``p ⊆S q`` we enumerate the canonical trees of ``p`` and verify that
+on each of them every result tuple of ``p`` is also a result tuple of ``q``
+(evaluated with decorated semantics, so value predicates are handled by
+formula implication).  The extra conditions for attribute patterns
+(Prop. 4.1) and nested patterns (Prop. 4.2) are purely structural and are
+checked first; the value-coverage condition of Section 4.2 is applied to
+union containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.canonical.model import iter_canonical_model
+from repro.canonical.trees import CanonicalTree
+from repro.containment.formulas import implies_disjunction, tree_formula
+from repro.containment.nesting import nesting_depths, nesting_sequences_compatible
+from repro.errors import ContainmentError
+from repro.patterns.embedding import EmbeddingMode
+from repro.patterns.pattern import TreePattern
+from repro.patterns.semantics import evaluate_node_tuples
+from repro.summary.dataguide import Summary
+
+__all__ = [
+    "ContainmentDecision",
+    "is_contained",
+    "is_contained_in_union",
+    "are_equivalent",
+]
+
+
+@dataclass
+class ContainmentDecision:
+    """Outcome of a containment test, with a few statistics for reporting."""
+
+    contained: bool
+    reason: str
+    canonical_trees_checked: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.contained
+
+
+# --------------------------------------------------------------------------- #
+# structural pre-conditions
+# --------------------------------------------------------------------------- #
+def _attribute_signature(pattern: TreePattern) -> list[frozenset[str]]:
+    return [frozenset(node.attributes) for node in pattern.return_nodes()]
+
+
+def _structural_preconditions(
+    contained: TreePattern,
+    container: TreePattern,
+    summary: Summary,
+    check_attributes: bool,
+) -> Optional[str]:
+    """Return a failure reason, or None when all pre-conditions hold."""
+    if contained.arity != container.arity:
+        return (
+            f"arity mismatch: {contained.arity} vs {container.arity}"
+        )
+    if check_attributes and _attribute_signature(contained) != _attribute_signature(
+        container
+    ):
+        return "return-node attribute annotations differ (Prop. 4.1 condition 1)"
+    if nesting_depths(contained) != nesting_depths(container):
+        return "nesting depths of return nodes differ (Prop. 4.2 condition 2a)"
+    if not nesting_sequences_compatible(contained, container, summary):
+        return "nesting sequences are not compatible (Prop. 4.2 condition 2b)"
+    return None
+
+
+def _strip_predicates(pattern: TreePattern) -> TreePattern:
+    clone = pattern.copy(name=f"{pattern.name}-nopred")
+    for node in clone.root.iter_subtree():
+        node.predicate = None
+    return clone
+
+
+# --------------------------------------------------------------------------- #
+# single containment
+# --------------------------------------------------------------------------- #
+def containment_decision(
+    contained: TreePattern,
+    container: TreePattern,
+    summary: Summary,
+    check_attributes: bool = True,
+    max_trees: Optional[int] = None,
+) -> ContainmentDecision:
+    """Full containment test ``contained ⊆S container`` with statistics."""
+    failure = _structural_preconditions(
+        contained, container, summary, check_attributes
+    )
+    if failure is not None:
+        return ContainmentDecision(False, failure)
+
+    checked = 0
+    for tree in iter_canonical_model(contained, summary):
+        checked += 1
+        if max_trees is not None and checked > max_trees:
+            raise ContainmentError(
+                f"canonical model of {contained.name!r} exceeds {max_trees} trees"
+            )
+        left_tuples = evaluate_node_tuples(
+            contained, tree.root, EmbeddingMode.DECORATED
+        )
+        right_tuples = evaluate_node_tuples(
+            container, tree.root, EmbeddingMode.DECORATED
+        )
+        if not left_tuples <= right_tuples:
+            return ContainmentDecision(
+                False,
+                "a canonical tree of the contained pattern has a result tuple "
+                "the container does not produce (Prop. 3.1 condition 3)",
+                checked,
+            )
+    if checked == 0:
+        # an S-unsatisfiable pattern is contained in anything of the same shape
+        return ContainmentDecision(True, "contained pattern is S-unsatisfiable", 0)
+    return ContainmentDecision(True, "all canonical trees pass", checked)
+
+
+def is_contained(
+    contained: TreePattern,
+    container: TreePattern,
+    summary: Summary,
+    check_attributes: bool = True,
+) -> bool:
+    """``contained ⊆S container`` (Definition 3.1 plus the Section 4 extensions)."""
+    return containment_decision(
+        contained, container, summary, check_attributes=check_attributes
+    ).contained
+
+
+# --------------------------------------------------------------------------- #
+# union containment
+# --------------------------------------------------------------------------- #
+def is_contained_in_union(
+    contained: TreePattern,
+    containers: Sequence[TreePattern],
+    summary: Summary,
+    check_attributes: bool = True,
+) -> bool:
+    """``contained ⊆S containers[0] ∪ ... ∪ containers[m-1]`` (Prop. 3.2).
+
+    When value predicates are present, the value-coverage condition of
+    Section 4.2 is verified on top of the structural membership condition.
+    """
+    if not containers:
+        return not _has_canonical_tree(contained, summary)
+
+    eligible = [
+        container
+        for container in containers
+        if _structural_preconditions(contained, container, summary, check_attributes)
+        is None
+    ]
+    if not eligible:
+        return False
+    if len(eligible) == 1:
+        return containment_decision(
+            contained, eligible[0], summary, check_attributes=check_attributes
+        ).contained
+
+    any_predicates = contained.has_predicates() or any(
+        container.has_predicates() for container in eligible
+    )
+    stripped = [_strip_predicates(container) for container in eligible]
+    container_models: Optional[list[list[CanonicalTree]]] = None
+
+    for tree in iter_canonical_model(contained, summary):
+        left_tuples = evaluate_node_tuples(
+            contained, tree.root, EmbeddingMode.DECORATED
+        )
+        matching_indexes: set[int] = set()
+        for tuple_ in left_tuples:
+            found = False
+            for index, container in enumerate(stripped):
+                right_tuples = evaluate_node_tuples(
+                    container, tree.root, EmbeddingMode.DECORATED
+                )
+                if tuple_ in right_tuples:
+                    matching_indexes.add(index)
+                    found = True
+            if not found:
+                return False
+        if not any_predicates:
+            continue
+
+        # Section 4.2 condition 2: the formulas of this canonical tree must be
+        # covered by the disjunction of the formulas of the matching
+        # containers' canonical trees with the same return paths.
+        if container_models is None:
+            container_models = [
+                list(iter_canonical_model(container, summary))
+                for container in eligible
+            ]
+        same_return = []
+        for index in matching_indexes:
+            for candidate in container_models[index]:
+                if candidate.return_paths() == tree.return_paths():
+                    same_return.append(candidate)
+        if not implies_disjunction(
+            tree_formula(tree), [tree_formula(candidate) for candidate in same_return]
+        ):
+            return False
+    return True
+
+
+def _has_canonical_tree(pattern: TreePattern, summary: Summary) -> bool:
+    for _ in iter_canonical_model(pattern, summary):
+        return True
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# equivalence
+# --------------------------------------------------------------------------- #
+def are_equivalent(
+    left: TreePattern,
+    right: TreePattern,
+    summary: Summary,
+    check_attributes: bool = True,
+) -> bool:
+    """``left ≡S right``: two-way containment."""
+    return is_contained(
+        left, right, summary, check_attributes=check_attributes
+    ) and is_contained(right, left, summary, check_attributes=check_attributes)

@@ -1,0 +1,165 @@
+"""Value-coverage reasoning for decorated union containment (Section 4.2).
+
+When deciding ``pφ ⊆S pφ1 ∪ ... ∪ pφn`` the structural condition alone is
+not enough: the disjunction of the right-hand formulas must *cover* the
+left-hand formulas.  The paper phrases this as
+
+    ``φ_te(v1, ..., v|S|)  ⇒  ∨_{t'e ∈ g(te)} φ_t'e(v1, ..., v|S|)``
+
+where ``φ_te`` conjoins the formulas decorating the nodes of a canonical
+tree, with one variable per summary node.  This module extracts those
+per-variable conjunctions from canonical trees and decides the implication
+by enumerating the finitely many value regions induced by the constants of
+the formulas (the paper's ``N^{|S|}`` bound; in practice only a handful of
+variables carry non-trivial formulas).
+
+When the region space is unreasonably large, the check falls back to a
+*sound* approximation (per-variable implication against a single right-hand
+tree), which can only turn a "contained" answer into "not contained" — never
+the opposite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.canonical.trees import CanonicalTree
+from repro.patterns.predicates import ValueFormula
+
+__all__ = ["tree_formula", "implies_disjunction"]
+
+# Upper bound on the number of sampled assignments before falling back to the
+# conservative per-variable check.
+_MAX_ASSIGNMENTS = 50_000
+
+
+def tree_formula(tree: CanonicalTree) -> dict[int, ValueFormula]:
+    """Conjunction of the formulas of a canonical tree, per summary variable.
+
+    The result maps a summary node number to the conjunction of the formulas
+    of all canonical nodes derived from that summary node; variables mapped
+    to the ``true`` formula are omitted.
+    """
+    result: dict[int, ValueFormula] = {}
+    for node in tree.nodes():
+        if node.formula.is_true():
+            continue
+        number = node.summary_node.number
+        if number in result:
+            result[number] = result[number].and_(node.formula)
+        else:
+            result[number] = node.formula
+    return result
+
+
+def _constants_of(formula: ValueFormula) -> list:
+    """The endpoint constants of a formula's interval normal form."""
+    constants = []
+    for interval in formula._intervals:  # noqa: SLF001 - same package family
+        if not interval.low.infinite:
+            constants.append(interval.low.value)
+        if not interval.high.infinite:
+            constants.append(interval.high.value)
+    return constants
+
+
+def _sample_points(constants: Iterable) -> list:
+    """Representative values for every region delimited by ``constants``.
+
+    For each constant we keep the constant itself plus a value just below and
+    just above it; numeric neighbours use midpoints, string neighbours use a
+    suffix trick.  The samples are sufficient to distinguish the satisfaction
+    regions of interval formulas built from these constants.
+    """
+    numbers = sorted({c for c in constants if isinstance(c, (int, float))})
+    strings = sorted({c for c in constants if isinstance(c, str)})
+    points: list = []
+    if numbers:
+        points.append(numbers[0] - 1)
+        for left, right in zip(numbers, numbers[1:]):
+            points.append(left)
+            points.append((left + right) / 2)
+        points.append(numbers[-1])
+        points.append(numbers[-1] + 1)
+    else:
+        points.append(0)
+    if strings:
+        points.append("")
+        for left, right in zip(strings, strings[1:]):
+            points.append(left)
+            between = left + "\x01"
+            if left < between < right:
+                points.append(between)
+        points.append(strings[-1])
+        points.append(strings[-1] + "\x7f")
+    return points
+
+
+def implies_disjunction(
+    left: dict[int, ValueFormula],
+    rights: Sequence[dict[int, ValueFormula]],
+) -> bool:
+    """Decide ``left ⇒ right_1 ∨ ... ∨ right_m`` over per-variable formulas.
+
+    ``left`` and each ``right_i`` map summary variable numbers to formulas
+    (missing variables are unconstrained).  The check enumerates one
+    representative value per region of every constrained variable.
+    """
+    if not rights:
+        # an empty disjunction is false; the implication holds only if the
+        # left side is itself unsatisfiable
+        return any(not formula.is_satisfiable() for formula in left.values())
+
+    variables = set(left)
+    for right in rights:
+        variables |= set(right)
+    if not variables:
+        return True
+
+    per_variable_points: dict[int, list] = {}
+    for variable in variables:
+        constants: list = []
+        if variable in left:
+            constants.extend(_constants_of(left[variable]))
+        for right in rights:
+            if variable in right:
+                constants.extend(_constants_of(right[variable]))
+        per_variable_points[variable] = _sample_points(constants)
+
+    total = 1
+    for points in per_variable_points.values():
+        total *= max(1, len(points))
+    if total > _MAX_ASSIGNMENTS:
+        return _conservative_implication(left, rights)
+
+    ordered_variables = sorted(variables)
+    for assignment in itertools.product(
+        *(per_variable_points[v] for v in ordered_variables)
+    ):
+        values = dict(zip(ordered_variables, assignment))
+        if not _satisfies(left, values):
+            continue
+        if not any(_satisfies(right, values) for right in rights):
+            return False
+    return True
+
+
+def _satisfies(formulas: dict[int, ValueFormula], values: dict[int, object]) -> bool:
+    for variable, formula in formulas.items():
+        if not formula.evaluate(values.get(variable)):
+            return False
+    return True
+
+
+def _conservative_implication(
+    left: dict[int, ValueFormula], rights: Sequence[dict[int, ValueFormula]]
+) -> bool:
+    """Sound fallback: some single right side is implied variable by variable."""
+    for right in rights:
+        if all(
+            left.get(variable, ValueFormula.true()).implies(formula)
+            for variable, formula in right.items()
+        ):
+            return True
+    return False

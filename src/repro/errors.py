@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Sub-classes are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class XMLError(ReproError):
+    """Problems in the XML substrate (malformed documents, bad IDs...)."""
+
+
+class XMLParseError(XMLError):
+    """Raised when XML (or parenthesized-tree) text cannot be parsed."""
+
+
+class InvalidDeweyIDError(XMLError):
+    """Raised when a structural identifier is malformed."""
+
+
+class SummaryError(ReproError):
+    """Problems building or using a structural summary (Dataguide)."""
+
+
+class PatternError(ReproError):
+    """Problems with tree patterns (construction, validation)."""
+
+
+class PatternParseError(PatternError):
+    """Raised when the pattern DSL / XPath / XQuery text cannot be parsed."""
+
+
+class PredicateError(PatternError):
+    """Raised when a value-predicate formula is malformed."""
+
+
+class ContainmentError(ReproError):
+    """Raised when a containment test is asked on incompatible patterns."""
+
+
+class AlgebraError(ReproError):
+    """Problems constructing or executing algebraic plans."""
+
+
+class PlanExecutionError(AlgebraError):
+    """Raised when a logical plan cannot be executed over the given views."""
+
+
+class RewritingError(ReproError):
+    """Problems during view-based rewriting."""
+
+
+class WorkloadError(ReproError):
+    """Problems generating synthetic documents or patterns."""

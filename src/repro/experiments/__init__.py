@@ -1,0 +1,41 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section 5).
+
+Each module regenerates one table or figure:
+
+* :mod:`repro.experiments.table1`  — Table 1: summary statistics of the
+  eight corpora,
+* :mod:`repro.experiments.fig13`   — Figure 13: XMark pattern containment
+  (canonical model sizes, per-query self-containment times, synthetic
+  positive/negative containment times by pattern size),
+* :mod:`repro.experiments.fig14`   — Figure 14: the same study on the DBLP
+  summary plus the optional-edge ablation,
+* :mod:`repro.experiments.fig15`   — Figure 15: XMark query rewriting
+  (setup time, time to first rewriting, total time, view pruning ratio).
+
+Every harness returns plain data rows and has a ``print_…`` companion that
+renders them in the shape the paper reports.  Absolute timings differ from
+the paper (pure Python vs the authors' Java prototype on 2006 hardware); the
+relative behaviour — what tracks what, who is faster than whom — is the
+reproduction target (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.table1 import run_table1, print_table1
+from repro.experiments.fig13 import (
+    run_fig13_query_containment,
+    run_fig13_synthetic_containment,
+    print_fig13,
+)
+from repro.experiments.fig14 import run_fig14, print_fig14
+from repro.experiments.fig15 import run_fig15, print_fig15
+
+__all__ = [
+    "run_table1",
+    "print_table1",
+    "run_fig13_query_containment",
+    "run_fig13_synthetic_containment",
+    "print_fig13",
+    "run_fig14",
+    "print_fig14",
+    "run_fig15",
+    "print_fig15",
+]

@@ -1,0 +1,82 @@
+"""Figure 14 — DBLP pattern containment and the optional-edge ablation.
+
+The paper repeats the synthetic containment study of Figure 13 on the DBLP
+summary and observes that containment is roughly four times faster than on
+XMark (DBLP patterns have fewer repeated formatting tags, hence smaller
+canonical models).  It also compares 0% against 50% optional edges and finds
+a ~2x slowdown — far from the exponential worst case.  This harness
+reproduces both series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.fig13 import (
+    SyntheticContainmentRow,
+    run_fig13_synthetic_containment,
+)
+from repro.summary.dataguide import Summary, build_summary
+from repro.workloads.dblp import generate_dblp_document
+
+__all__ = ["Fig14Result", "run_fig14", "print_fig14", "dblp_summary"]
+
+
+@dataclass
+class Fig14Result:
+    """Both series of Figure 14."""
+
+    with_optional: list[SyntheticContainmentRow]
+    without_optional: list[SyntheticContainmentRow]
+
+
+def dblp_summary(scale: float = 2.0, seed: int = 5) -> Summary:
+    """The DBLP'05 summary used by the Figure 14 experiments."""
+    return build_summary(generate_dblp_document("2005", scale, seed=seed, name="dblp-exp"))
+
+
+def run_fig14(
+    summary: Optional[Summary] = None,
+    sizes: Sequence[int] = (3, 5, 7, 9, 11, 13),
+    return_counts: Sequence[int] = (1, 2),
+    patterns_per_size: int = 6,
+    seed: int = 11,
+) -> Fig14Result:
+    """Synthetic containment on the DBLP summary, with and without optional edges."""
+    summary = summary or dblp_summary()
+    shared = dict(
+        summary=summary,
+        sizes=sizes,
+        return_counts=return_counts,
+        patterns_per_size=patterns_per_size,
+        return_labels=("author", "title", "year"),
+        seed=seed,
+    )
+    with_optional = run_fig13_synthetic_containment(optional_probability=0.5, **shared)
+    without_optional = run_fig13_synthetic_containment(optional_probability=0.0, **shared)
+    return Fig14Result(with_optional=with_optional, without_optional=without_optional)
+
+
+def print_fig14(result: Optional[Fig14Result] = None) -> str:
+    """Render the Figure 14 series; returns the rendered text."""
+    result = result if result is not None else run_fig14()
+    lines = ["Figure 14: DBLP synthetic pattern containment", ""]
+    lines.append(
+        f"{'nodes':>6} | {'returns':>8} | {'pos 50% opt (ms)':>17} | "
+        f"{'pos 0% opt (ms)':>16} | {'neg 50% opt (ms)':>17}"
+    )
+    without_index = {
+        (row.pattern_size, row.return_nodes): row for row in result.without_optional
+    }
+    for row in result.with_optional:
+        other = without_index.get((row.pattern_size, row.return_nodes))
+        lines.append(
+            f"{row.pattern_size:>6} | {row.return_nodes:>8} | "
+            f"{row.positive_seconds * 1000:>17.2f} | "
+            f"{(other.positive_seconds * 1000 if other else 0.0):>16.2f} | "
+            f"{row.negative_seconds * 1000:>17.2f}"
+        )
+    text = "\n".join(lines)
+    print(text)
+    return text

@@ -1,0 +1,65 @@
+"""Table 1 — sample XML documents and their summaries.
+
+The paper reports, for eight documents (Shakespeare, NASA, SwissProt, three
+XMark sizes, two DBLP snapshots): the document size, the summary size
+``|S|``, the number of strong edges ``nS`` and of one-to-one edges ``n1``.
+This harness regenerates the same row structure over the synthetic corpora.
+The headline observations to reproduce are that summaries are small compared
+to the documents, that strong / one-to-one edges are frequent, and that the
+summary barely grows as the document grows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.summary.statistics import SummaryStatistics, summarize
+from repro.workloads.corpora import (
+    generate_nasa_document,
+    generate_shakespeare_document,
+    generate_swissprot_document,
+)
+from repro.workloads.dblp import generate_dblp_document
+from repro.workloads.xmark import generate_xmark_document
+
+__all__ = ["run_table1", "print_table1", "TABLE1_DOCUMENTS"]
+
+TABLE1_DOCUMENTS: list[tuple[str, Callable]] = [
+    ("Shakespeare", lambda scale: generate_shakespeare_document(name="Shakespeare")),
+    ("Nasa", lambda scale: generate_nasa_document(name="Nasa")),
+    ("SwissProt", lambda scale: generate_swissprot_document(name="SwissProt")),
+    ("XMark11", lambda scale: generate_xmark_document(1.0 * scale, seed=11, name="XMark11")),
+    ("XMark111", lambda scale: generate_xmark_document(2.0 * scale, seed=111, name="XMark111")),
+    ("XMark233", lambda scale: generate_xmark_document(3.0 * scale, seed=233, name="XMark233")),
+    ("DBLP '02", lambda scale: generate_dblp_document("2002", 1.0 * scale, name="DBLP '02")),
+    ("DBLP '05", lambda scale: generate_dblp_document("2005", 2.0 * scale, name="DBLP '05")),
+]
+
+
+def run_table1(scale: float = 1.0) -> list[SummaryStatistics]:
+    """Generate every corpus and compute its summary statistics."""
+    rows = []
+    for _, generator in TABLE1_DOCUMENTS:
+        document = generator(scale)
+        rows.append(summarize(document))
+    return rows
+
+
+def print_table1(rows: list[SummaryStatistics] | None = None, scale: float = 1.0) -> str:
+    """Render Table 1; returns the rendered text (also printed)."""
+    rows = rows if rows is not None else run_table1(scale)
+    headers = ["Doc.", "Size (nodes)", "|S|", "nS", "n1"]
+    lines = [" | ".join(f"{h:>12}" for h in headers)]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        cells = [
+            row.document_name,
+            str(row.document_size),
+            str(row.summary_size),
+            str(row.strong_edges),
+            str(row.one_to_one_edges),
+        ]
+        lines.append(" | ".join(f"{c:>12}" for c in cells))
+    text = "\n".join(lines)
+    print(text)
+    return text

@@ -1,0 +1,34 @@
+"""Extended tree patterns (the paper's view / query language).
+
+The package implements:
+
+* conjunctive tree patterns with ``/`` and ``//`` edges (Section 2.2),
+* value predicates on nodes (Section 4.2, :mod:`repro.patterns.predicates`),
+* optional edges (Section 4.3),
+* per-node attributes ``ID`` / ``L`` / ``V`` / ``C`` (Section 4.4),
+* nested edges (Section 4.5),
+* a compact textual DSL plus compilers from an XPath subset and from a
+  nested-FLWR XQuery subset,
+* embeddings (pattern → document and pattern → summary) and the evaluation
+  semantics producing (nested) relations with nulls.
+"""
+
+from repro.patterns.predicates import ValueFormula
+from repro.patterns.pattern import Axis, PatternNode, TreePattern
+from repro.patterns.parser import parse_pattern
+from repro.patterns.xpath import xpath_to_pattern
+from repro.patterns.xquery import xquery_to_pattern
+from repro.patterns.embedding import find_embeddings
+from repro.patterns.semantics import evaluate_pattern
+
+__all__ = [
+    "ValueFormula",
+    "Axis",
+    "PatternNode",
+    "TreePattern",
+    "parse_pattern",
+    "xpath_to_pattern",
+    "xquery_to_pattern",
+    "find_embeddings",
+    "evaluate_pattern",
+]

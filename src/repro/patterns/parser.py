@@ -1,0 +1,194 @@
+"""Textual DSL for tree patterns.
+
+The syntax mirrors the figures of the paper closely::
+
+    pattern  := node
+    node     := label annot? pred? children?
+    children := '(' edge (',' edge)* ')'
+    edge     := axis node
+    axis     := ('/' | '//') modifiers
+    modifiers: '?' marks the edge optional (dashed), '~' marks it nested (n)
+    annot    := '[' item (',' item)* ']'    item in {ID, L, V, C, R}
+    pred     := '{' value formula '}'        e.g. {v > 2 and v < 5}
+
+``R`` marks a plain (conjunctive) return node that stores no attribute.
+
+Examples
+--------
+* View V1 of Figure 1::
+
+      regions(//*[ID](/description(/parlist(/~listitem(//keyword[C]))),
+                      //?bold[V]))
+
+* The query of Figure 5 (``b`` nodes with an ``a`` and a ``c`` descendant)::
+
+      r(//b[R](//a, //c))
+"""
+
+from __future__ import annotations
+
+from repro.errors import PatternParseError
+from repro.patterns.pattern import Axis, PatternNode, TreePattern
+from repro.patterns.predicates import ValueFormula
+
+__all__ = ["parse_pattern"]
+
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-:@.*")
+
+
+class _PatternParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    def parse(self) -> PatternNode:
+        self._skip_ws()
+        node = self._parse_node(axis=None, optional=False, nested=False)
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise PatternParseError(
+                f"trailing characters at position {self.pos}: "
+                f"{self.text[self.pos:self.pos + 20]!r}"
+            )
+        return node
+
+    # ------------------------------------------------------------------ #
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\n\r":
+            self.pos += 1
+
+    def _parse_label(self) -> str:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if start == self.pos:
+            raise PatternParseError(
+                f"expected a label at position {start} in {self.text!r}"
+            )
+        return self.text[start : self.pos]
+
+    def _parse_annotations(self) -> tuple[tuple[str, ...], bool]:
+        """Parse ``[ID,V,...]``; returns (attributes, plain_return_flag)."""
+        attributes: list[str] = []
+        plain_return = False
+        self.pos += 1  # consume '['
+        while True:
+            self._skip_ws()
+            start = self.pos
+            while self.pos < len(self.text) and self.text[self.pos].isalpha():
+                self.pos += 1
+            item = self.text[start : self.pos].upper()
+            if not item:
+                raise PatternParseError("empty annotation item")
+            if item == "R":
+                plain_return = True
+            elif item in ("ID", "L", "V", "C"):
+                attributes.append(item)
+            else:
+                raise PatternParseError(f"unknown annotation {item!r}")
+            self._skip_ws()
+            if self.pos < len(self.text) and self.text[self.pos] == ",":
+                self.pos += 1
+                continue
+            if self.pos < len(self.text) and self.text[self.pos] == "]":
+                self.pos += 1
+                return tuple(attributes), plain_return
+            raise PatternParseError("expected ',' or ']' in annotation list")
+
+    def _parse_predicate(self) -> ValueFormula:
+        self.pos += 1  # consume '{'
+        start = self.pos
+        depth = 1
+        while self.pos < len(self.text) and depth > 0:
+            if self.text[self.pos] == "{":
+                depth += 1
+            elif self.text[self.pos] == "}":
+                depth -= 1
+            self.pos += 1
+        if depth != 0:
+            raise PatternParseError("unterminated predicate (missing '}')")
+        body = self.text[start : self.pos - 1]
+        return ValueFormula.parse(body)
+
+    def _parse_axis(self) -> tuple[Axis, bool, bool]:
+        if self.text.startswith("//", self.pos):
+            axis = Axis.DESCENDANT
+            self.pos += 2
+        elif self.text.startswith("/", self.pos):
+            axis = Axis.CHILD
+            self.pos += 1
+        else:
+            raise PatternParseError(
+                f"expected '/' or '//' at position {self.pos} in {self.text!r}"
+            )
+        optional = False
+        nested = False
+        while self.pos < len(self.text) and self.text[self.pos] in "?~":
+            if self.text[self.pos] == "?":
+                optional = True
+            else:
+                nested = True
+            self.pos += 1
+        return axis, optional, nested
+
+    def _parse_node(self, axis, optional: bool, nested: bool) -> PatternNode:
+        label = self._parse_label()
+        attributes: tuple[str, ...] = ()
+        plain_return = False
+        predicate = None
+        self._skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] == "[":
+            attributes, plain_return = self._parse_annotations()
+            self._skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] == "{":
+            predicate = self._parse_predicate()
+            self._skip_ws()
+        node = PatternNode(
+            label,
+            axis=axis,
+            optional=optional,
+            nested=nested,
+            attributes=attributes,
+            predicate=predicate,
+            is_return=plain_return,
+        )
+        if self.pos < len(self.text) and self.text[self.pos] == "(":
+            self.pos += 1
+            while True:
+                self._skip_ws()
+                if self.pos < len(self.text) and self.text[self.pos] == ")":
+                    self.pos += 1
+                    break
+                child_axis, child_optional, child_nested = self._parse_axis()
+                child = self._parse_node(child_axis, child_optional, child_nested)
+                child.parent = node
+                node.children.append(child)
+                self._skip_ws()
+                if self.pos < len(self.text) and self.text[self.pos] == ",":
+                    self.pos += 1
+                    continue
+                if self.pos < len(self.text) and self.text[self.pos] == ")":
+                    self.pos += 1
+                    break
+                raise PatternParseError(
+                    f"expected ',' or ')' at position {self.pos} in {self.text!r}"
+                )
+        return node
+
+
+def parse_pattern(text: str, name: str = "pattern") -> TreePattern:
+    """Parse the pattern DSL into a :class:`TreePattern`.
+
+    If no node is marked as returning (no attribute annotation and no ``R``),
+    the *last* node in pre-order is made a plain return node so that the
+    pattern has arity one — this matches the XPath convention where the last
+    step is the result.
+    """
+    root = _PatternParser(text.strip()).parse()
+    pattern = TreePattern(root, name=name)
+    if not pattern.return_nodes():
+        nodes = pattern.nodes()
+        nodes[-1].is_return = True
+    return pattern

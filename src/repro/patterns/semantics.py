@@ -1,0 +1,283 @@
+"""Evaluation semantics of extended tree patterns.
+
+Two evaluators are provided:
+
+* :func:`evaluate_node_tuples` — the *abstract* semantics used by the
+  containment machinery: the result is a set of tuples of tree nodes (one
+  entry per return node, in pre-order), where an entry may be ``None``
+  (the null constant ``⊥``) when an optional edge has no match
+  (Definition 4.1).  Attributes and nesting are ignored; value predicates
+  are checked according to the embedding mode.
+
+* :func:`evaluate_pattern` — the *concrete* semantics used to materialise
+  views and to compute query answers: the result is a (possibly nested)
+  :class:`~repro.algebra.tuples.Relation` whose columns follow the pattern's
+  attribute annotations (``ID`` / ``L`` / ``V`` / ``C``), with nested edges
+  producing nested relations and optional edges producing nulls, exactly as
+  in Figures 1, 11 and 12 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.algebra.tuples import Column, Relation
+from repro.errors import PatternError
+from repro.patterns.embedding import EmbeddingMode, _iter_descendants, _node_matches
+from repro.patterns.pattern import Axis, PatternNode, TreePattern
+from repro.xmltree.node import XMLNode
+
+__all__ = [
+    "evaluate_node_tuples",
+    "evaluate_pattern",
+    "pattern_schema",
+    "default_id_function",
+]
+
+
+# --------------------------------------------------------------------------- #
+# abstract semantics: tuples of tree nodes (with ⊥), used for containment
+# --------------------------------------------------------------------------- #
+def _eval_nodes(
+    pattern_node: PatternNode, tree_node, mode: EmbeddingMode
+) -> Optional[list[dict[PatternNode, object]]]:
+    """Return the list of partial bindings for the subtree, or None on failure."""
+    if not _node_matches(pattern_node, tree_node, mode):
+        return None
+    partials: list[dict[PatternNode, object]] = [
+        {pattern_node: tree_node} if pattern_node.is_return else {}
+    ]
+    for child in pattern_node.children:
+        if child.axis is Axis.CHILD:
+            candidates = list(tree_node.children)
+        else:
+            candidates = list(_iter_descendants(tree_node))
+        sub_results: list[dict[PatternNode, object]] = []
+        for candidate in candidates:
+            result = _eval_nodes(child, candidate, mode)
+            if result is not None:
+                sub_results.extend(result)
+        if not sub_results:
+            if child.optional:
+                null_binding = {
+                    node: None for node in child.iter_subtree() if node.is_return
+                }
+                sub_results = [null_binding]
+            else:
+                return None
+        partials = [
+            {**partial, **sub} for partial in partials for sub in sub_results
+        ]
+    return partials
+
+
+def evaluate_node_tuples(
+    pattern: TreePattern,
+    tree_root,
+    mode: EmbeddingMode = EmbeddingMode.DOCUMENT,
+) -> set[tuple]:
+    """Evaluate ``pattern`` on the tree rooted at ``tree_root``.
+
+    Returns the set of return-node tuples (entries are tree nodes or ``None``
+    for ``⊥``), following Definition 4.1 for optional edges: ``⊥`` appears
+    only when no match exists for the optional subtree.
+    """
+    return_nodes = pattern.return_nodes()
+    if not return_nodes:
+        raise PatternError(f"pattern {pattern.name!r} has no return nodes")
+    bindings = _eval_nodes(pattern.root, tree_root, mode)
+    if bindings is None:
+        return set()
+    result = set()
+    for binding in bindings:
+        result.add(tuple(binding.get(node) for node in return_nodes))
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# concrete semantics: nested relations with attributes, used for views
+# --------------------------------------------------------------------------- #
+def default_id_function(node: XMLNode):
+    """The default ``fID``: a node's Dewey structural identifier."""
+    return node.dewey
+
+
+class _Schema:
+    """Column layout of a pattern: flat columns plus nested sub-schemas."""
+
+    def __init__(self) -> None:
+        self.nested_schemas: dict[str, list[Column]] = {}
+        self.node_columns: dict[int, list[Column]] = {}
+        self.return_index: dict[int, int] = {}
+
+    def columns_of(self, node: PatternNode) -> list[Column]:
+        return self.node_columns.get(id(node), [])
+
+
+def pattern_schema(pattern: TreePattern) -> tuple[list[Column], _Schema]:
+    """Compute the relation schema of a pattern.
+
+    Column names follow the paper's figures: attribute columns are named
+    ``ID<k>`` / ``L<k>`` / ``V<k>`` / ``C<k>`` where ``k`` is the return
+    node's pre-order index (1-based), plain return nodes get ``NODE<k>``,
+    and each nested edge contributes a single grouped column ``A<k>`` where
+    ``k`` is the index of the first return node inside the nested subtree.
+    """
+    schema = _Schema()
+    counter = 0
+    for node in pattern.root.iter_subtree():
+        if node.is_return:
+            counter += 1
+            schema.return_index[id(node)] = counter
+            paths = _paths_of(node)
+            if node.attributes:
+                columns = [
+                    Column(f"{attribute}{counter}", kind=attribute, paths=paths)
+                    for attribute in node.attributes
+                ]
+            else:
+                columns = [Column(f"NODE{counter}", kind="NODE", paths=paths)]
+            schema.node_columns[id(node)] = columns
+
+    top_columns = _subtree_columns(pattern.root, schema)
+    if not top_columns:
+        raise PatternError(f"pattern {pattern.name!r} has no return nodes")
+    return top_columns, schema
+
+
+def _paths_of(node: PatternNode) -> tuple[str, ...]:
+    if node.annotated_paths is None:
+        return ()
+    return tuple(sorted(str(p) for p in node.annotated_paths))
+
+
+def _first_return_index(node: PatternNode, schema: _Schema) -> Optional[int]:
+    for descendant in node.iter_subtree():
+        index = schema.return_index.get(id(descendant))
+        if index is not None:
+            return index
+    return None
+
+
+def _subtree_columns(node: PatternNode, schema: _Schema) -> list[Column]:
+    """Columns contributed by the subtree rooted at ``node`` to its parent."""
+    columns = list(schema.columns_of(node))
+    for child in node.children:
+        child_columns = _subtree_columns(child, schema)
+        if not child_columns:
+            continue
+        if child.nested:
+            index = _first_return_index(child, schema)
+            nested_name = f"A{index}"
+            schema.nested_schemas[nested_name] = child_columns
+            columns.append(Column(nested_name, kind="NESTED"))
+        else:
+            columns.extend(child_columns)
+    return columns
+
+
+def _extract(attribute: str, node, id_function: Callable):
+    if attribute == "ID":
+        return id_function(node)
+    if attribute == "L":
+        return node.label
+    if attribute == "V":
+        return getattr(node, "value", None)
+    if attribute == "C":
+        return node
+    return node  # NODE
+
+
+def _null_fill(columns: list[Column], schema: _Schema) -> dict[str, object]:
+    """Null values for all columns of an unmatched optional subtree."""
+    values: dict[str, object] = {}
+    for column in columns:
+        if column.kind == "NESTED":
+            values[column.name] = Relation(schema.nested_schemas[column.name])
+        else:
+            values[column.name] = None
+    return values
+
+
+def _eval_concrete(
+    pattern_node: PatternNode,
+    tree_node,
+    schema: _Schema,
+    id_function: Callable,
+    mode: EmbeddingMode,
+) -> Optional[list[dict[str, object]]]:
+    if not _node_matches(pattern_node, tree_node, mode):
+        return None
+    base: dict[str, object] = {}
+    for column in schema.columns_of(pattern_node):
+        base[column.name] = _extract(column.kind, tree_node, id_function)
+    partials: list[dict[str, object]] = [base]
+
+    for child in pattern_node.children:
+        child_columns = _subtree_columns(child, schema)
+        if child.axis is Axis.CHILD:
+            candidates = list(tree_node.children)
+        else:
+            candidates = list(_iter_descendants(tree_node))
+        sub_results: list[dict[str, object]] = []
+        for candidate in candidates:
+            result = _eval_concrete(child, candidate, schema, id_function, mode)
+            if result is not None:
+                sub_results.extend(result)
+
+        if not child_columns:
+            # the child subtree stores nothing; it acts as an existential branch
+            if not sub_results and not child.optional:
+                return None
+            continue
+
+        if child.nested:
+            index = _first_return_index(child, schema)
+            nested_name = f"A{index}"
+            nested_schema = schema.nested_schemas[nested_name]
+            if not sub_results and not child.optional:
+                return None
+            nested_relation = Relation(
+                nested_schema,
+                rows=[
+                    tuple(sub.get(column.name) for column in nested_schema)
+                    for sub in sub_results
+                ],
+            ).distinct()
+            partials = [
+                {**partial, nested_name: nested_relation} for partial in partials
+            ]
+        else:
+            if not sub_results:
+                if child.optional:
+                    sub_results = [_null_fill(child_columns, schema)]
+                else:
+                    return None
+            partials = [
+                {**partial, **sub} for partial in partials for sub in sub_results
+            ]
+    return partials
+
+
+def evaluate_pattern(
+    pattern: TreePattern,
+    document,
+    id_function: Optional[Callable] = None,
+    mode: EmbeddingMode = EmbeddingMode.DOCUMENT,
+) -> Relation:
+    """Evaluate an attribute/nested/optional pattern over a document.
+
+    ``document`` may be an :class:`~repro.xmltree.node.XMLDocument` or any
+    tree node acting as the root.  The result is a :class:`Relation` whose
+    schema is given by :func:`pattern_schema`.
+    """
+    tree_root = getattr(document, "root", document)
+    id_function = id_function or default_id_function
+    columns, schema = pattern_schema(pattern)
+    relation = Relation(columns)
+    bindings = _eval_concrete(pattern.root, tree_root, schema, id_function, mode)
+    if bindings is None:
+        return relation
+    for binding in bindings:
+        relation.append(tuple(binding.get(column.name) for column in columns))
+    return relation.distinct()

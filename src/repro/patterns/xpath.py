@@ -1,0 +1,170 @@
+"""Compiling a practical XPath subset into tree patterns.
+
+The supported fragment is the one the containment literature calls
+``XP{/, //, *, []}`` extended with value comparisons:
+
+* location steps separated by ``/`` (child) or ``//`` (descendant),
+* name tests or ``*``,
+* qualifiers ``[relative/path]`` (existential branch),
+  ``[relative/path op constant]`` and ``[. op constant]`` / ``[value() op c]``
+  (value predicates), possibly several per step,
+* the optional trailing ``/text()`` which marks the result node as storing
+  its value (``V``) instead of its identity.
+
+The *last* location step becomes the pattern's return node; by default it
+stores the node identifier and value (``ID, V``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional
+
+from repro.errors import PatternParseError
+from repro.patterns.pattern import Axis, PatternNode, TreePattern
+from repro.patterns.predicates import ValueFormula
+
+__all__ = ["xpath_to_pattern"]
+
+_STEP_RE = re.compile(r"(//|/)([^/\[\]]+)((?:\[[^\]]*\])*)")
+_QUALIFIER_RE = re.compile(r"\[([^\]]*)\]")
+_COMPARISON_RE = re.compile(r"^(.*?)(<=|>=|!=|=|<|>)(.*)$")
+
+
+def _parse_constant(text: str):
+    text = text.strip()
+    if text.startswith(("'", '"')) and text.endswith(("'", '"')) and len(text) >= 2:
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            raise PatternParseError(f"cannot parse constant {text!r}") from None
+
+
+_FORMULA_BUILDERS = {
+    "=": ValueFormula.eq,
+    "!=": ValueFormula.ne,
+    "<": ValueFormula.lt,
+    "<=": ValueFormula.le,
+    ">": ValueFormula.gt,
+    ">=": ValueFormula.ge,
+}
+
+
+def _add_relative_path(node: PatternNode, path: str) -> PatternNode:
+    """Add a relative path (``a/b`` or ``.//a``) below ``node``; return its tip."""
+    path = path.strip()
+    if path in (".", ""):
+        return node
+    axis = Axis.CHILD
+    if path.startswith(".//"):
+        axis = Axis.DESCENDANT
+        path = path[3:]
+    elif path.startswith("./"):
+        path = path[2:]
+    elif path.startswith("//"):
+        axis = Axis.DESCENDANT
+        path = path[2:]
+    elif path.startswith("/"):
+        path = path[1:]
+    current = node
+    steps = re.split(r"(//|/)", path)
+    # re.split keeps separators; walk tokens
+    pending_axis = axis
+    for token in steps:
+        if token in ("", None):
+            continue
+        if token == "/":
+            pending_axis = Axis.CHILD
+            continue
+        if token == "//":
+            pending_axis = Axis.DESCENDANT
+            continue
+        label = token.strip()
+        if label == "text()":
+            current.attributes = tuple(dict.fromkeys(current.attributes + ("V",)))
+            continue
+        current = current.add_child(label, axis=pending_axis)
+        pending_axis = Axis.CHILD
+    return current
+
+
+def _apply_qualifier(node: PatternNode, qualifier: str) -> None:
+    qualifier = qualifier.strip()
+    if not qualifier:
+        return
+    comparison = _COMPARISON_RE.match(qualifier)
+    if comparison and comparison.group(2) in _FORMULA_BUILDERS:
+        left, op, right = comparison.groups()
+        left = left.strip()
+        constant = _parse_constant(right)
+        formula = _FORMULA_BUILDERS[op](constant)
+        if left in (".", "value()", "text()", ""):
+            target = node
+        else:
+            left = left.removesuffix("/text()").removesuffix("/value()")
+            target = _add_relative_path(node, left)
+        target.predicate = (
+            formula if target.predicate is None else target.predicate.and_(formula)
+        )
+        return
+    # plain existential branch
+    _add_relative_path(node, qualifier)
+
+
+def xpath_to_pattern(
+    expression: str,
+    return_attributes: Iterable[str] = ("ID", "V"),
+    name: Optional[str] = None,
+) -> TreePattern:
+    """Compile an absolute XPath expression into a :class:`TreePattern`.
+
+    Example::
+
+        xpath_to_pattern("/site//item[mailbox//mail]/name")
+    """
+    expr = expression.strip()
+    if not expr.startswith("/"):
+        raise PatternParseError("only absolute XPath expressions are supported")
+
+    wants_text = False
+    if expr.endswith("/text()"):
+        wants_text = True
+        expr = expr[: -len("/text()")]
+
+    steps = _STEP_RE.findall(expr)
+    if not steps:
+        raise PatternParseError(f"cannot parse XPath expression {expression!r}")
+    consumed = "".join(sep + label + quals for sep, label, quals in steps)
+    if consumed != expr:
+        raise PatternParseError(
+            f"unsupported XPath constructs in {expression!r} (parsed {consumed!r})"
+        )
+
+    root: Optional[PatternNode] = None
+    current: Optional[PatternNode] = None
+    for position, (separator, label, qualifiers) in enumerate(steps):
+        axis = Axis.DESCENDANT if separator == "//" else Axis.CHILD
+        label = label.strip()
+        if position == 0:
+            if axis is Axis.DESCENDANT:
+                # '//a' at the top: model it as a '*' root with a // child,
+                # since patterns must start at the document root.
+                root = PatternNode("*")
+                current = root.add_child(label, axis=Axis.DESCENDANT)
+            else:
+                root = PatternNode(label)
+                current = root
+        else:
+            assert current is not None
+            current = current.add_child(label, axis=axis)
+        for qualifier_text in _QUALIFIER_RE.findall(qualifiers):
+            _apply_qualifier(current, qualifier_text)
+
+    assert root is not None and current is not None
+    attrs = ("V",) if wants_text else tuple(a.upper() for a in return_attributes)
+    current.attributes = tuple(dict.fromkeys(current.attributes + attrs))
+    return TreePattern(root, name=name or expression)

@@ -1,0 +1,500 @@
+"""The view-based rewriting search (Algorithm 1 plus the §4.6 adaptations).
+
+The search manipulates :class:`RewriteCandidate` plan/pattern pairs:
+
+1. **setup** — annotate the query and the view patterns with their associated
+   summary paths, prune useless views (Prop. 3.4), unfold ``C`` attributes
+   towards the query's paths and add virtual IDs (§4.6),
+2. **single-view pass** — try to align every initial candidate with the query,
+3. **join loop** — repeatedly join candidates from the working set ``M`` with
+   initial candidates from ``M0`` (left-deep plans only, as in the paper),
+   using identifier-equality and structural joins at path-compatible node
+   pairs; every new pair is aligned with the query, and kept in ``M`` when it
+   is new (Prop. 3.5) and small enough (Prop. 3.6 / the configured bound),
+4. **union pass** — candidates that are strictly contained in the query are
+   combined into union plans; minimal subsets whose union is S-equivalent to
+   the query are reported (Algorithm 1, lines 13-14).
+
+The search records timing milestones (setup, first rewriting, total) because
+those are precisely the series reported in the paper's Figure 15.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.operators import PlanOperator, UnionPlan
+from repro.canonical.model import annotate_paths
+from repro.containment.core import is_contained_in_union
+from repro.patterns.pattern import Axis, PatternNode, TreePattern
+from repro.rewriting.alignment import AlignmentResult, align_candidate
+from repro.rewriting.candidates import RewriteCandidate, initial_candidate
+from repro.rewriting.fusion import fuse_equality, fuse_structural
+from repro.rewriting.preprocessing import (
+    add_virtual_ids,
+    query_path_targets,
+    unfold_content,
+    view_is_useful,
+)
+from repro.summary.dataguide import Summary
+from repro.summary.index import SummaryIndex
+from repro.views.view import MaterializedView
+
+__all__ = ["RewritingConfig", "RewritingStatistics", "Rewriting", "RewritingSearch"]
+
+
+@dataclass
+class RewritingConfig:
+    """Tuning knobs of the rewriting search."""
+
+    max_plan_size: int = 12
+    """Maximum number of view occurrences per join plan (Prop. 3.6 bound)."""
+
+    max_candidates: int = 4000
+    """Hard cap on the size of the working set ``M``."""
+
+    max_rewritings: int = 8
+    """Stop after this many equivalent rewritings have been found."""
+
+    stop_at_first: bool = False
+    """Stop the search as soon as one equivalent rewriting is found."""
+
+    time_budget_seconds: Optional[float] = 20.0
+    """Wall-clock budget for the whole search (None = unlimited)."""
+
+    enable_unions: bool = True
+    """Whether to build union plans from partial (contained) candidates."""
+
+    max_union_size: int = 3
+    """Maximum number of branches in a union plan."""
+
+    enable_structural_joins: bool = True
+    enable_equality_joins: bool = True
+    enable_content_unfolding: bool = True
+    enable_virtual_ids: bool = True
+
+
+@dataclass
+class RewritingStatistics:
+    """Timing and search-space statistics (the Figure 15 series)."""
+
+    setup_seconds: float = 0.0
+    first_rewriting_seconds: Optional[float] = None
+    total_seconds: float = 0.0
+    views_before_pruning: int = 0
+    views_after_pruning: int = 0
+    candidates_explored: int = 0
+    joins_attempted: int = 0
+    rewritings_found: int = 0
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of views kept after Prop. 3.4 pruning."""
+        if self.views_before_pruning == 0:
+            return 0.0
+        return self.views_after_pruning / self.views_before_pruning
+
+
+@dataclass
+class Rewriting:
+    """One equivalent rewriting of the query."""
+
+    plan: PlanOperator
+    pattern: TreePattern
+    views_used: tuple[str, ...]
+    is_union: bool = False
+
+    def describe(self) -> str:
+        """Readable plan rendering."""
+        return self.plan.describe()
+
+
+class RewritingSearch:
+    """One run of Algorithm 1 for a fixed query, summary and view set."""
+
+    def __init__(
+        self,
+        query: TreePattern,
+        summary: Summary,
+        views: list[MaterializedView],
+        config: Optional[RewritingConfig] = None,
+    ):
+        self.query = query.copy(name=query.name)
+        self.summary = summary
+        self.index = SummaryIndex(summary)
+        self.views = list(views)
+        self.config = config or RewritingConfig()
+        self.statistics = RewritingStatistics()
+        self.rewritings: list[Rewriting] = []
+        self._partial: list[tuple[RewriteCandidate, AlignmentResult]] = []
+        self._seen_signatures: set = set()
+        self._start_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> list[Rewriting]:
+        """Run the search and return every rewriting found."""
+        self._start_time = time.perf_counter()
+        initial = self._setup()
+        self.statistics.setup_seconds = time.perf_counter() - self._start_time
+
+        if not self._attributes_feasible(initial):
+            # no combination of views can supply some required output
+            # attribute on a compatible path; Prop. 3.7 rules out every plan
+            self.statistics.total_seconds = time.perf_counter() - self._start_time
+            return self.rewritings
+
+        working = list(initial)
+        for candidate in initial:
+            self._consider(candidate)
+            if self._done():
+                break
+
+        if not self._done():
+            self._join_loop(working, initial)
+        if self.config.enable_unions and not self._done():
+            self._union_pass()
+
+        self.statistics.total_seconds = time.perf_counter() - self._start_time
+        self.statistics.rewritings_found = len(self.rewritings)
+        return self.rewritings
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+    def _setup(self) -> list[RewriteCandidate]:
+        annotate_paths(self.query, self.summary)
+        targets = query_path_targets(self.query)
+        self.statistics.views_before_pruning = len(self.views)
+        initial: list[RewriteCandidate] = []
+        for view in self.views:
+            candidate = initial_candidate(view)
+            annotate_paths(candidate.pattern, self.summary)
+            if not view_is_useful(candidate.pattern, self.query, self.index):
+                continue
+            if self.config.enable_content_unfolding:
+                candidate = unfold_content(candidate, targets, self.index)
+                annotate_paths(candidate.pattern, self.summary)
+            if self.config.enable_virtual_ids:
+                candidate = add_virtual_ids(
+                    candidate, self.index, view.id_scheme.derives_parent
+                )
+            initial.append(candidate)
+        self.statistics.views_after_pruning = len(initial)
+        return initial
+
+    def _attributes_feasible(self, initial: list[RewriteCandidate]) -> bool:
+        """Quick necessary condition: every query return node must have, in
+        some view, a node on compatible paths offering all its attributes
+        (joins never create attributes, so otherwise no rewriting exists)."""
+        for query_node in self.query.return_nodes():
+            required = set(query_node.attributes) or {"ID"}
+            query_paths = query_node.annotated_paths or frozenset()
+            if not query_paths:
+                return False
+            satisfied = False
+            for candidate in initial:
+                for node in candidate.pattern.nodes():
+                    node_paths = node.annotated_paths or frozenset()
+                    if not node_paths or not (node_paths & query_paths):
+                        continue
+                    if required <= candidate.available_attributes(node):
+                        satisfied = True
+                        break
+                if satisfied:
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # join loop
+    # ------------------------------------------------------------------ #
+    def _join_loop(
+        self, working: list[RewriteCandidate], initial: list[RewriteCandidate]
+    ) -> None:
+        frontier = list(working)
+        while frontier and not self._done():
+            new_candidates: list[RewriteCandidate] = []
+            for left in frontier:
+                for right in initial:
+                    if self._done():
+                        return
+                    if left.size + right.size > self.config.max_plan_size:
+                        continue
+                    for joined in self._join_pair(left, right):
+                        self._consider(joined)
+                        if self._done():
+                            return
+                        if (
+                            joined.size < self.config.max_plan_size
+                            and len(self._seen_signatures) < self.config.max_candidates
+                        ):
+                            new_candidates.append(joined)
+            frontier = new_candidates
+
+    def _join_pair(
+        self, left: RewriteCandidate, right: RewriteCandidate
+    ) -> list[RewriteCandidate]:
+        """All join results of two candidates (Algorithm 1, lines 3-5)."""
+        results: list[RewriteCandidate] = []
+        structural_ok = (
+            self.config.enable_structural_joins
+            and self._views_structural(left)
+            and self._views_structural(right)
+        )
+        for left_node in left.pattern.nodes():
+            if left_node.nesting_depth() > 0:
+                continue
+            left_paths = left_node.annotated_paths or frozenset()
+            if not left_paths:
+                continue
+            for right_node in right.pattern.nodes():
+                if right_node.nesting_depth() > 0:
+                    continue
+                right_paths = right_node.annotated_paths or frozenset()
+                if not right_paths:
+                    continue
+                self.statistics.joins_attempted += 1
+                if (
+                    self.config.enable_equality_joins
+                    and self.index.any_equal(left_paths, right_paths)
+                    and left.has_attribute(left_node, "ID")
+                    and right.has_attribute(right_node, "ID")
+                ):
+                    fused = self._equality_candidate(left, left_node, right, right_node)
+                    if fused is not None:
+                        results.append(fused)
+                if structural_ok and left.has_attribute(left_node, "ID") and right.has_attribute(right_node, "ID"):
+                    if self.index.any_ancestor(left_paths, right_paths):
+                        fused = self._structural_candidate(
+                            left, left_node, right, right_node, Axis.DESCENDANT
+                        )
+                        if fused is not None:
+                            results.append(fused)
+                        if self.index.any_parent(left_paths, right_paths):
+                            fused = self._structural_candidate(
+                                left, left_node, right, right_node, Axis.CHILD
+                            )
+                            if fused is not None:
+                                results.append(fused)
+                    if self.index.any_ancestor(right_paths, left_paths):
+                        fused = self._structural_candidate(
+                            right, right_node, left, left_node, Axis.DESCENDANT, swap=True
+                        )
+                        if fused is not None:
+                            results.append(fused)
+        return results
+
+    @staticmethod
+    def _views_structural(candidate: RewriteCandidate) -> bool:
+        return True  # structural-scheme filtering happens per view at setup
+
+    # ------------------------------------------------------------------ #
+    # join construction helpers
+    # ------------------------------------------------------------------ #
+    def _equality_candidate(
+        self,
+        left: RewriteCandidate,
+        left_node: PatternNode,
+        right: RewriteCandidate,
+        right_node: PatternNode,
+    ) -> Optional[RewriteCandidate]:
+        from repro.algebra.operators import IdEqualityJoin
+
+        left, left_column = left.ensure_column(left_node, "ID")
+        right, right_column = right.ensure_column(right_node, "ID")
+        fusion = fuse_equality(
+            left.pattern, left_node, right.pattern, right_node, self.summary, self.index
+        )
+        if fusion is None:
+            return None
+        plan = IdEqualityJoin(
+            left=left.plan,
+            right=right.plan,
+            left_column=left_column,
+            right_column=right_column,
+        )
+        return self._combine(left, right, fusion.left_map, fusion.right_map, fusion.pattern, plan)
+
+    def _structural_candidate(
+        self,
+        upper: RewriteCandidate,
+        upper_node: PatternNode,
+        lower: RewriteCandidate,
+        lower_node: PatternNode,
+        axis: Axis,
+        swap: bool = False,
+    ) -> Optional[RewriteCandidate]:
+        from repro.algebra.operators import StructuralJoin
+
+        upper, upper_column = upper.ensure_column(upper_node, "ID")
+        lower, lower_column = lower.ensure_column(lower_node, "ID")
+        fusion = fuse_structural(
+            upper.pattern,
+            upper_node,
+            lower.pattern,
+            lower_node,
+            axis,
+            self.summary,
+            self.index,
+        )
+        if fusion is None:
+            return None
+        plan = StructuralJoin(
+            left=upper.plan,
+            right=lower.plan,
+            left_column=upper_column,
+            right_column=lower_column,
+            axis=axis,
+        )
+        return self._combine(
+            upper, lower, fusion.left_map, fusion.right_map, fusion.pattern, plan
+        )
+
+    def _combine(
+        self,
+        left: RewriteCandidate,
+        right: RewriteCandidate,
+        left_map: dict[int, PatternNode],
+        right_map: dict[int, PatternNode],
+        pattern: TreePattern,
+        plan,
+    ) -> Optional[RewriteCandidate]:
+        """Assemble the candidate for a join, translating column bookkeeping."""
+        # Prop. 3.5: the join must produce a genuinely new pattern
+        signature = pattern.root.signature(include_paths=True)
+        if signature == left.pattern.root.signature(include_paths=True):
+            return None
+        if signature == right.pattern.root.signature(include_paths=True):
+            return None
+        if signature in self._seen_signatures:
+            return None
+        self._seen_signatures.add(signature)
+
+        columns: dict[tuple[int, str], str] = {}
+        lazy: dict = {}
+        for (node_id, attribute), column in left.columns.items():
+            target = left_map.get(node_id)
+            if target is not None:
+                columns[(id(target), attribute)] = column
+        for (node_id, attribute), column in right.columns.items():
+            target = right_map.get(node_id)
+            if target is not None:
+                columns.setdefault((id(target), attribute), column)
+        for (node_id, attribute), spec in left.lazy.items():
+            target = left_map.get(node_id)
+            if target is not None and (id(target), attribute) not in columns:
+                lazy[(id(target), attribute)] = spec
+        for (node_id, attribute), spec in right.lazy.items():
+            target = right_map.get(node_id)
+            if target is not None and (id(target), attribute) not in columns:
+                lazy.setdefault((id(target), attribute), spec)
+
+        self.statistics.candidates_explored += 1
+        return RewriteCandidate(
+            plan=plan,
+            pattern=pattern,
+            columns=columns,
+            lazy=lazy,
+            views_used=left.views_used + right.views_used,
+            unnested_columns=left.unnested_columns | right.unnested_columns,
+        )
+
+    # ------------------------------------------------------------------ #
+    # evaluation of candidates
+    # ------------------------------------------------------------------ #
+    def _consider(self, candidate: RewriteCandidate) -> None:
+        """Try to align a candidate with the query; record successes."""
+        if self._out_of_time():
+            return
+        result = align_candidate(candidate, self.query, self.summary)
+        if result is not None:
+            self._record(result, candidate, is_union=False)
+            return
+        if self.config.enable_unions and len(self._partial) < 64:
+            partial = align_candidate(
+                candidate, self.query, self.summary, containment_only=True
+            )
+            if partial is not None:
+                self._partial.append((candidate, partial))
+
+    def _record(
+        self, result: AlignmentResult, candidate: RewriteCandidate, is_union: bool
+    ) -> None:
+        if self.statistics.first_rewriting_seconds is None:
+            self.statistics.first_rewriting_seconds = (
+                time.perf_counter() - self._start_time
+            )
+        self.rewritings.append(
+            Rewriting(
+                plan=result.plan,
+                pattern=result.pattern,
+                views_used=candidate.views_used,
+                is_union=is_union,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # union plans (Algorithm 1, lines 13-14)
+    # ------------------------------------------------------------------ #
+    def _union_pass(self) -> None:
+        if len(self._partial) < 2:
+            return
+        for size in range(2, self.config.max_union_size + 1):
+            if self._done():
+                return
+            for combo in itertools.combinations(self._partial, size):
+                if self._done() or self._out_of_time():
+                    return
+                patterns = [alignment.pattern for _, alignment in combo]
+                if not is_contained_in_union(self.query, patterns, self.summary):
+                    continue
+                # minimality: no strict subset may already cover the query
+                if any(
+                    is_contained_in_union(
+                        self.query,
+                        [a.pattern for _, a in subset],
+                        self.summary,
+                    )
+                    for smaller in range(1, size)
+                    for subset in itertools.combinations(combo, smaller)
+                ):
+                    continue
+                plan = UnionPlan(plans=tuple(alignment.plan for _, alignment in combo))
+                views = tuple(
+                    itertools.chain.from_iterable(c.views_used for c, _ in combo)
+                )
+                first_pattern = combo[0][1].pattern
+                self.rewritings.append(
+                    Rewriting(
+                        plan=plan,
+                        pattern=first_pattern,
+                        views_used=views,
+                        is_union=True,
+                    )
+                )
+                if self.statistics.first_rewriting_seconds is None:
+                    self.statistics.first_rewriting_seconds = (
+                        time.perf_counter() - self._start_time
+                    )
+
+    # ------------------------------------------------------------------ #
+    # termination
+    # ------------------------------------------------------------------ #
+    def _done(self) -> bool:
+        if self.config.stop_at_first and self.rewritings:
+            return True
+        if len(self.rewritings) >= self.config.max_rewritings:
+            return True
+        return self._out_of_time()
+
+    def _out_of_time(self) -> bool:
+        budget = self.config.time_budget_seconds
+        if budget is None:
+            return False
+        return (time.perf_counter() - self._start_time) > budget

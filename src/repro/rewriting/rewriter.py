@@ -1,0 +1,119 @@
+"""Public facade of the rewriting subsystem."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.algebra.execution import PlanExecutor
+from repro.algebra.tuples import Relation
+from repro.errors import RewritingError
+from repro.patterns.pattern import TreePattern
+from repro.rewriting.algorithm import (
+    Rewriting,
+    RewritingConfig,
+    RewritingSearch,
+    RewritingStatistics,
+)
+from repro.summary.dataguide import Summary
+from repro.views.store import ViewSet
+from repro.views.view import MaterializedView
+
+__all__ = ["Rewriter", "RewriteOutcome"]
+
+
+class RewriteOutcome:
+    """All rewritings found for one query, plus the search statistics."""
+
+    def __init__(
+        self,
+        query: TreePattern,
+        rewritings: list[Rewriting],
+        statistics: RewritingStatistics,
+    ):
+        self.query = query
+        self.rewritings = rewritings
+        self.statistics = statistics
+
+    @property
+    def found(self) -> bool:
+        """True iff at least one equivalent rewriting was found."""
+        return bool(self.rewritings)
+
+    @property
+    def best(self) -> Rewriting:
+        """The smallest rewriting found (fewest views, non-union preferred)."""
+        if not self.rewritings:
+            raise RewritingError(f"no rewriting found for {self.query.name!r}")
+        return min(self.rewritings, key=lambda r: (r.is_union, len(r.views_used)))
+
+    def __iter__(self):
+        return iter(self.rewritings)
+
+    def __len__(self) -> int:
+        return len(self.rewritings)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RewriteOutcome query={self.query.name!r} "
+            f"rewritings={len(self.rewritings)}>"
+        )
+
+
+class Rewriter:
+    """Rewrites tree-pattern queries over a set of materialised views.
+
+    Parameters
+    ----------
+    summary:
+        The (enhanced) structural summary of the database.
+    views:
+        The available materialised views (a :class:`ViewSet` or any iterable
+        of :class:`MaterializedView`).
+    config:
+        Optional :class:`RewritingConfig` tuning the search.
+    """
+
+    def __init__(
+        self,
+        summary: Summary,
+        views: ViewSet | Iterable[MaterializedView],
+        config: Optional[RewritingConfig] = None,
+    ):
+        self.summary = summary
+        self.views = views if isinstance(views, ViewSet) else ViewSet(views)
+        self.config = config or RewritingConfig()
+
+    # ------------------------------------------------------------------ #
+    def rewrite(
+        self, query: TreePattern, config: Optional[RewritingConfig] = None
+    ) -> RewriteOutcome:
+        """Search for S-equivalent rewritings of ``query``."""
+        search = RewritingSearch(
+            query, self.summary, list(self.views), config or self.config
+        )
+        rewritings = search.run()
+        return RewriteOutcome(query, rewritings, search.statistics)
+
+    def rewrite_first(
+        self, query: TreePattern
+    ) -> Optional[Rewriting]:
+        """Return the first rewriting found, or None."""
+        config = RewritingConfig(**{**self.config.__dict__, "stop_at_first": True})
+        outcome = self.rewrite(query, config)
+        return outcome.rewritings[0] if outcome.found else None
+
+    # ------------------------------------------------------------------ #
+    def execute(self, rewriting: Rewriting) -> Relation:
+        """Execute a rewriting's plan over the materialised views."""
+        executor = PlanExecutor(self.views)
+        return executor.execute(rewriting.plan)
+
+    def answer(self, query: TreePattern) -> Relation:
+        """Rewrite and execute in one call (raises when no rewriting exists)."""
+        outcome = self.rewrite(query)
+        if not outcome.found:
+            raise RewritingError(
+                f"query {query.name!r} has no equivalent rewriting over "
+                f"views {sorted(self.views.names)}"
+            )
+        return self.execute(outcome.best)

@@ -1,0 +1,27 @@
+"""Structural summaries (strong Dataguides) and enhanced summaries.
+
+A *summary* of a document ``d`` (Section 2.3) is a tree containing exactly
+one node per distinct rooted simple path of ``d``.  The *enhanced* summary
+(Section 4.1) additionally marks edges as
+
+* **strong** — every document node on the parent path has at least one child
+  on the child path (a parent-child integrity constraint), and
+* **one-to-one** — every document node on the parent path has exactly one
+  child on the child path (used to relax nesting-sequence equality in
+  Proposition 4.2).
+
+Summaries are built in a single linear pass over the document, as in [15].
+"""
+
+from repro.summary.node import SummaryNode
+from repro.summary.dataguide import Summary, build_summary, summary_from_paths
+from repro.summary.statistics import SummaryStatistics, summarize
+
+__all__ = [
+    "SummaryNode",
+    "Summary",
+    "build_summary",
+    "summary_from_paths",
+    "SummaryStatistics",
+    "summarize",
+]

@@ -1,0 +1,255 @@
+"""Strong Dataguide (structural summary) construction.
+
+:func:`build_summary` builds the summary of a document in a single pass,
+counting instances along the way so that **strong** and **one-to-one** edges
+of the *enhanced summary* (Section 4.1) are detected for free.
+
+:func:`summary_from_paths` builds a summary directly from a list of rooted
+paths (optionally flagged strong / one-to-one); this is how the paper's
+hand-drawn example summaries and the synthetic workloads are written down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.errors import SummaryError
+from repro.summary.node import SummaryNode
+from repro.xmltree.node import XMLDocument, XMLNode
+
+__all__ = ["Summary", "build_summary", "summary_from_paths"]
+
+
+class Summary:
+    """A structural summary (strong Dataguide) of one document.
+
+    The summary is itself a tree of :class:`SummaryNode`.  Nodes can be
+    looked up by rooted path or by their pre-order number (the numbering
+    used in the paper's figures).
+    """
+
+    def __init__(self, root: SummaryNode, name: str = "summary"):
+        self.root = root
+        self.name = name
+        self._by_path: dict[str, SummaryNode] = {}
+        self._by_number: dict[int, SummaryNode] = {}
+        self._renumber()
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def _renumber(self) -> None:
+        self._by_path.clear()
+        self._by_number.clear()
+        for number, node in enumerate(self.root.iter_subtree(), start=1):
+            node.number = number
+            if node.path in self._by_path:
+                raise SummaryError(f"duplicate summary path {node.path!r}")
+            self._by_path[node.path] = node
+            self._by_number[number] = node
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def node_by_path(self, path: str) -> SummaryNode:
+        """Return the summary node for a rooted path such as ``/a/b/c``."""
+        try:
+            return self._by_path[path]
+        except KeyError as exc:
+            raise SummaryError(f"path {path!r} does not occur in {self.name}") from exc
+
+    def has_path(self, path: str) -> bool:
+        """True iff ``path`` occurs in the summarised document."""
+        return path in self._by_path
+
+    def node_by_number(self, number: int) -> SummaryNode:
+        """Return the summary node with the given pre-order number."""
+        try:
+            return self._by_number[number]
+        except KeyError as exc:
+            raise SummaryError(f"no summary node numbered {number}") from exc
+
+    def iter_nodes(self) -> Iterator[SummaryNode]:
+        """Yield all summary nodes in pre-order."""
+        return self.root.iter_subtree()
+
+    def nodes_with_label(self, label: str) -> list[SummaryNode]:
+        """All summary nodes carrying ``label`` (all nodes for ``'*'``)."""
+        if label == "*":
+            return list(self.iter_nodes())
+        return [n for n in self.iter_nodes() if n.label == label]
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of summary nodes, written ``|S|`` in the paper."""
+        return len(self._by_path)
+
+    @property
+    def strong_edge_count(self) -> int:
+        """Number of strong edges (``ns`` in Table 1)."""
+        return sum(1 for n in self.iter_nodes() if n.parent is not None and n.strong)
+
+    @property
+    def one_to_one_edge_count(self) -> int:
+        """Number of one-to-one edges (``n1`` in Table 1)."""
+        return sum(
+            1 for n in self.iter_nodes() if n.parent is not None and n.one_to_one
+        )
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest summary node."""
+        return max(n.depth for n in self.iter_nodes())
+
+    # ------------------------------------------------------------------ #
+    # conformance
+    # ------------------------------------------------------------------ #
+    def conforms(self, doc: XMLDocument, check_constraints: bool = True) -> bool:
+        """Check ``S |= d``: every document path occurs in the summary.
+
+        With ``check_constraints`` the strong-edge integrity constraints of
+        the enhanced summary are verified as well.
+        """
+        for node in doc.iter_nodes():
+            if node.path not in self._by_path:
+                return False
+        if not check_constraints:
+            return True
+        for node in doc.iter_nodes():
+            summary_node = self._by_path[node.path]
+            for child in summary_node.children:
+                if child.strong and not any(
+                    c.label == child.label for c in node.children
+                ):
+                    return False
+                if child.one_to_one and sum(
+                    1 for c in node.children if c.label == child.label
+                ) != 1:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Summary {self.name!r} size={self.size}>"
+
+
+def build_summary(doc: XMLDocument, name: Optional[str] = None) -> Summary:
+    """Build the enhanced structural summary of ``doc`` in one linear pass."""
+    root = SummaryNode(doc.root.label, "/" + doc.root.label)
+    root.instance_count = 1
+    root.strong = True
+    root.one_to_one = True
+    _summarize_children(doc.root, root)
+    _walk_counts(doc.root, root)
+    return Summary(root, name=name or f"summary({doc.name})")
+
+
+def _summarize_children(doc_node: XMLNode, summary_node: SummaryNode) -> None:
+    """Create summary children for every distinct child label, recursively."""
+    for child in doc_node.children:
+        target = summary_node.child_with_label(child.label)
+        if target is None:
+            target = SummaryNode(
+                child.label, f"{summary_node.path}/{child.label}", parent=summary_node
+            )
+            summary_node.children.append(target)
+        _summarize_children(child, target)
+
+
+def _walk_counts(doc_root: XMLNode, summary_root: SummaryNode) -> None:
+    """Compute instance counts plus strong / one-to-one edge flags."""
+    # per summary path: number of document instances
+    instance_counts: dict[str, int] = {}
+    # per (parent path, child label): number of parent instances with >=1 /
+    # exactly-1 such child
+    with_child: dict[tuple[str, str], int] = {}
+    with_exactly_one: dict[tuple[str, str], int] = {}
+
+    def visit(node: XMLNode) -> None:
+        instance_counts[node.path] = instance_counts.get(node.path, 0) + 1
+        label_counts: dict[str, int] = {}
+        for child in node.children:
+            label_counts[child.label] = label_counts.get(child.label, 0) + 1
+            visit(child)
+        for label, count in label_counts.items():
+            key = (node.path, label)
+            with_child[key] = with_child.get(key, 0) + 1
+            if count == 1:
+                with_exactly_one[key] = with_exactly_one.get(key, 0) + 1
+
+    visit(doc_root)
+
+    for summary_node in summary_root.iter_subtree():
+        summary_node.instance_count = instance_counts.get(summary_node.path, 0)
+        parent = summary_node.parent
+        if parent is None:
+            continue
+        key = (parent.path, summary_node.label)
+        parents = instance_counts.get(parent.path, 0)
+        summary_node.strong = parents > 0 and with_child.get(key, 0) == parents
+        summary_node.one_to_one = (
+            parents > 0 and with_exactly_one.get(key, 0) == parents
+        )
+
+
+def summary_from_paths(
+    paths: Iterable[str | Sequence[object]],
+    name: str = "summary",
+) -> Summary:
+    """Build a summary from explicit rooted paths.
+
+    Each entry is either a path string (``"/a/b/c"``) or a tuple
+    ``(path, strong)`` or ``(path, strong, one_to_one)``.  Ancestor paths are
+    created implicitly (as non-strong) when missing.  The edge flags apply to
+    the edge *entering* the last node of the path.
+
+    Example::
+
+        summary_from_paths(["/a", ("/a/b", True), "/a/b/c", ("/a/d", True, True)])
+    """
+    entries: list[tuple[str, bool, bool]] = []
+    for item in paths:
+        if isinstance(item, str):
+            entries.append((item, False, False))
+        else:
+            seq = list(item)
+            path = str(seq[0])
+            strong = bool(seq[1]) if len(seq) > 1 else False
+            one_to_one = bool(seq[2]) if len(seq) > 2 else False
+            entries.append((path, strong, one_to_one or False))
+
+    if not entries:
+        raise SummaryError("cannot build a summary from an empty path list")
+
+    root_label = entries[0][0].strip("/").split("/")[0]
+    root = SummaryNode(root_label, "/" + root_label)
+    root.strong = True
+    root.one_to_one = True
+
+    def ensure(path: str) -> SummaryNode:
+        labels = [p for p in path.split("/") if p]
+        if not labels or labels[0] != root_label:
+            raise SummaryError(
+                f"path {path!r} does not start at the root /{root_label}"
+            )
+        node = root
+        current = "/" + root_label
+        for label in labels[1:]:
+            current = f"{current}/{label}"
+            child = node.child_with_label(label)
+            if child is None:
+                child = SummaryNode(label, current, parent=node)
+                node.children.append(child)
+            node = child
+        return node
+
+    for path, strong, one_to_one in entries:
+        node = ensure(path)
+        if strong:
+            node.strong = True
+        if one_to_one:
+            node.one_to_one = True
+            node.strong = True
+    return Summary(root, name=name)

@@ -1,0 +1,114 @@
+"""Fast relationship queries between summary nodes.
+
+The rewriting algorithm constantly asks "can these two pattern nodes denote
+the same document node / a parent / an ancestor?", which reduces to
+relationships between their associated summary nodes (Definition 2.1).  A
+:class:`SummaryIndex` pre-computes the ancestor sets of every summary node so
+these questions are O(1) per pair.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.summary.dataguide import Summary
+from repro.summary.node import SummaryNode
+
+__all__ = ["SummaryIndex"]
+
+
+class SummaryIndex:
+    """Ancestor / descendant / depth index over a summary's node numbers."""
+
+    def __init__(self, summary: Summary):
+        self.summary = summary
+        self._ancestors: dict[int, frozenset[int]] = {}
+        self._parent: dict[int, Optional[int]] = {}
+        self._depth: dict[int, int] = {}
+        for node in summary.iter_nodes():
+            ancestors = frozenset(a.number for a in node.iter_ancestors())
+            self._ancestors[node.number] = ancestors
+            self._parent[node.number] = node.parent.number if node.parent else None
+            self._depth[node.number] = node.depth
+
+    # ------------------------------------------------------------------ #
+    def node(self, number: int) -> SummaryNode:
+        """The summary node with this number."""
+        return self.summary.node_by_number(number)
+
+    def depth(self, number: int) -> int:
+        """Depth of the summary node (root has depth 1)."""
+        return self._depth[number]
+
+    def parent(self, number: int) -> Optional[int]:
+        """Number of the parent summary node, or None for the root."""
+        return self._parent[number]
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """True iff ``ancestor`` is a strict ancestor of ``descendant``."""
+        return ancestor in self._ancestors[descendant]
+
+    def is_parent(self, parent: int, child: int) -> bool:
+        """True iff ``parent`` is the parent of ``child``."""
+        return self._parent[child] == parent
+
+    def related(self, a: int, b: int) -> bool:
+        """True iff the two nodes are equal or in an ancestor/descendant line."""
+        return a == b or self.is_ancestor(a, b) or self.is_ancestor(b, a)
+
+    # ------------------------------------------------------------------ #
+    # set-level helpers used during rewriting
+    # ------------------------------------------------------------------ #
+    def any_equal(self, left: Iterable[int], right: Iterable[int]) -> bool:
+        """True iff the two path sets intersect."""
+        return bool(set(left) & set(right))
+
+    def any_parent(self, uppers: Iterable[int], lowers: Iterable[int]) -> bool:
+        """True iff some upper path is the parent of some lower path."""
+        upper_set = set(uppers)
+        return any(self._parent[low] in upper_set for low in lowers)
+
+    def any_ancestor(self, uppers: Iterable[int], lowers: Iterable[int]) -> bool:
+        """True iff some upper path is a strict ancestor of some lower path."""
+        upper_set = set(uppers)
+        return any(upper_set & self._ancestors[low] for low in lowers)
+
+    def any_related(self, left: Iterable[int], right: Iterable[int]) -> bool:
+        """True iff some pair of paths is equal or ancestor/descendant related."""
+        left_set, right_set = set(left), set(right)
+        if left_set & right_set:
+            return True
+        return self.any_ancestor(left_set, right_set) or self.any_ancestor(
+            right_set, left_set
+        )
+
+    def constant_depth_difference(
+        self, upper_paths: Iterable[int], lower_paths: Iterable[int]
+    ) -> Optional[int]:
+        """The unique depth difference between related (upper, lower) path
+        pairs, or None when the pairs disagree or none are related.
+
+        This is the "same vertical distance" condition of the virtual-ID
+        pre-processing (Section 4.6).
+        """
+        differences: set[int] = set()
+        upper_set = set(upper_paths)
+        for low in lower_paths:
+            for up in upper_set & self._ancestors[low]:
+                differences.add(self._depth[low] - self._depth[up])
+        if len(differences) == 1:
+            return differences.pop()
+        return None
+
+    def chain_labels(self, ancestor: int, descendant: int) -> list[str]:
+        """Labels strictly between ``ancestor`` and ``descendant`` plus the
+        descendant's own label (top-down); used to build navigation steps."""
+        labels: list[str] = []
+        node = self.node(descendant)
+        while node is not None and node.number != ancestor:
+            labels.append(node.label)
+            node = node.parent
+        if node is None:
+            raise ValueError(f"{ancestor} is not an ancestor of {descendant}")
+        labels.reverse()
+        return labels

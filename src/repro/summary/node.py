@@ -1,0 +1,107 @@
+"""Summary tree nodes.
+
+Each :class:`SummaryNode` represents one rooted simple path of the
+summarised document.  Nodes expose the same minimal navigation interface as
+:class:`~repro.xmltree.node.XMLNode` (``label`` / ``children`` / ``parent``),
+which lets the embedding machinery of :mod:`repro.patterns.embedding` work
+uniformly over documents, summaries and canonical trees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["SummaryNode"]
+
+
+class SummaryNode:
+    """One node of a structural summary.
+
+    Attributes
+    ----------
+    label:
+        Element label shared by all document nodes on this path.
+    path:
+        The rooted simple path, e.g. ``/site/regions/asia/item``.
+    number:
+        1-based pre-order number of the node inside its summary (the paper
+        numbers summary nodes this way in its figures).
+    instance_count:
+        How many document nodes map onto this summary node.
+    strong:
+        True iff the edge from the parent to this node is *strong*
+        (every parent instance has at least one child on this path).
+    one_to_one:
+        True iff every parent instance has exactly one child on this path.
+    """
+
+    __slots__ = (
+        "label",
+        "path",
+        "number",
+        "instance_count",
+        "strong",
+        "one_to_one",
+        "parent",
+        "children",
+        "value",
+    )
+
+    def __init__(self, label: str, path: str, parent: Optional["SummaryNode"] = None):
+        self.label = label
+        self.path = path
+        self.parent = parent
+        self.children: list[SummaryNode] = []
+        self.number: int = 0
+        self.instance_count: int = 0
+        self.strong: bool = False
+        self.one_to_one: bool = False
+        # summary nodes never carry atomic values; the attribute exists so the
+        # generic embedding code can read ``node.value`` on any tree flavour.
+        self.value = None
+
+    # ------------------------------------------------------------------ #
+    def child_with_label(self, label: str) -> Optional["SummaryNode"]:
+        """Return the child on path ``self.path + '/' + label`` if it exists."""
+        for child in self.children:
+            if child.label == label:
+                return child
+        return None
+
+    def iter_descendants(self) -> Iterator["SummaryNode"]:
+        """Yield all strict descendants in pre-order."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_subtree(self) -> Iterator["SummaryNode"]:
+        """Yield this node followed by all its descendants in pre-order."""
+        yield self
+        yield from self.iter_descendants()
+
+    def iter_ancestors(self) -> Iterator["SummaryNode"]:
+        """Yield strict ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_ancestor_of(self, other: "SummaryNode") -> bool:
+        """True iff this node is a strict ancestor of ``other``."""
+        return any(anc is self for anc in other.iter_ancestors())
+
+    @property
+    def depth(self) -> int:
+        """Depth of the node; the summary root has depth 1."""
+        return 1 + sum(1 for _ in self.iter_ancestors())
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.strong:
+            flags.append("strong")
+        if self.one_to_one:
+            flags.append("1-1")
+        flag_text = f" [{','.join(flags)}]" if flags else ""
+        return f"<SummaryNode #{self.number} {self.path}{flag_text}>"

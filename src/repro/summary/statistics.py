@@ -1,0 +1,55 @@
+"""Summary statistics in the shape of the paper's Table 1.
+
+Table 1 reports, for each document: its size, the summary size ``|S|``, the
+number of strong edges ``ns`` and the number of one-to-one edges ``n1``.
+:func:`summarize` computes all of these from a document in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.summary.dataguide import Summary, build_summary
+from repro.xmltree.node import XMLDocument
+
+__all__ = ["SummaryStatistics", "summarize"]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """One row of Table 1."""
+
+    document_name: str
+    document_size: int
+    summary_size: int
+    strong_edges: int
+    one_to_one_edges: int
+    max_depth: int
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary form, convenient for tabular printing."""
+        return {
+            "Doc.": self.document_name,
+            "Size (nodes)": self.document_size,
+            "|S|": self.summary_size,
+            "nS": self.strong_edges,
+            "n1": self.one_to_one_edges,
+            "depth": self.max_depth,
+        }
+
+
+def summarize(doc: XMLDocument, summary: Summary | None = None) -> SummaryStatistics:
+    """Compute the Table 1 statistics for a document.
+
+    An existing summary may be supplied to avoid rebuilding it.
+    """
+    if summary is None:
+        summary = build_summary(doc)
+    return SummaryStatistics(
+        document_name=doc.name,
+        document_size=doc.size,
+        summary_size=summary.size,
+        strong_edges=summary.strong_edge_count,
+        one_to_one_edges=summary.one_to_one_edge_count,
+        max_depth=summary.max_depth,
+    )

@@ -1,0 +1,15 @@
+"""Materialised tree-pattern views (the paper's XML Access Modules / XAMs).
+
+A :class:`MaterializedView` couples a view *definition* — an extended tree
+pattern — with its materialised extent (a nested relation) and the
+properties of the identifier scheme used when materialising it (structural
+comparability and parent derivability, Section 1 / Section 4.6).
+
+A :class:`ViewSet` is a named collection of views; it doubles as the view
+store handed to the plan executor.
+"""
+
+from repro.views.view import IdScheme, MaterializedView
+from repro.views.store import ViewSet
+
+__all__ = ["IdScheme", "MaterializedView", "ViewSet"]

@@ -1,0 +1,70 @@
+"""A named collection of materialised views."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ReproError
+from repro.views.view import MaterializedView
+from repro.xmltree.node import XMLDocument
+
+__all__ = ["ViewSet"]
+
+
+class ViewSet:
+    """A mapping-like store of materialised views.
+
+    The store is handed directly to :class:`~repro.algebra.execution.PlanExecutor`
+    (it resolves view names used by ``ViewScan`` operators) and to the
+    rewriting algorithm (which iterates over the view definitions).
+    """
+
+    def __init__(self, views: Iterable[MaterializedView] = ()):
+        self._views: dict[str, MaterializedView] = {}
+        for view in views:
+            self.add(view)
+
+    # ------------------------------------------------------------------ #
+    def add(self, view: MaterializedView) -> MaterializedView:
+        """Add a view; names must be unique within the set."""
+        if view.name in self._views:
+            raise ReproError(f"a view named {view.name!r} already exists")
+        self._views[view.name] = view
+        return view
+
+    def remove(self, name: str) -> None:
+        """Remove a view by name."""
+        self._views.pop(name, None)
+
+    def materialize_all(self, document: XMLDocument) -> None:
+        """Materialise every view in the set over ``document``."""
+        for view in self._views.values():
+            view.materialize(document)
+
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, name: str) -> MaterializedView:
+        try:
+            return self._views[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown view {name!r}") from exc
+
+    def get(self, name: str, default: Optional[MaterializedView] = None):
+        """Dictionary-style lookup."""
+        return self._views.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __iter__(self) -> Iterator[MaterializedView]:
+        return iter(self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    @property
+    def names(self) -> list[str]:
+        """All view names, in insertion order."""
+        return list(self._views)
+
+    def __repr__(self) -> str:
+        return f"<ViewSet {self.names}>"

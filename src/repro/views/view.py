@@ -1,0 +1,117 @@
+"""Materialised view definitions and materialisation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.algebra.tuples import Relation
+from repro.errors import ReproError
+from repro.patterns.pattern import TreePattern
+from repro.patterns.semantics import default_id_function, evaluate_pattern, pattern_schema
+from repro.xmltree.node import XMLDocument
+
+__all__ = ["IdScheme", "MaterializedView"]
+
+
+@dataclass(frozen=True)
+class IdScheme:
+    """Properties of the identifier function used to materialise a view.
+
+    Attributes
+    ----------
+    structural:
+        True when comparing two identifiers decides parent/ancestor
+        relationships — the prerequisite for structural joins (``⋈≺`` and
+        ``⋈≺≺``) between views (Section 1, "Exploiting ID properties").
+    derives_parent:
+        True when an element's identifier can be computed from any of its
+        children's identifiers (ORDPATH / Dewey), enabling the *virtual ID*
+        pre-processing and the ``navfID`` operator (Section 4.6).
+    name:
+        Human-readable scheme name.
+    """
+
+    structural: bool = True
+    derives_parent: bool = True
+    name: str = "dewey"
+
+    @classmethod
+    def dewey(cls) -> "IdScheme":
+        """The default scheme: Dewey IDs (structural, parent-derivable)."""
+        return cls(structural=True, derives_parent=True, name="dewey")
+
+    @classmethod
+    def opaque(cls) -> "IdScheme":
+        """Opaque identifiers: unique but carrying no structural information."""
+        return cls(structural=False, derives_parent=False, name="opaque")
+
+
+class MaterializedView:
+    """A tree-pattern view, optionally materialised over a document.
+
+    Parameters
+    ----------
+    pattern:
+        The view definition (an extended tree pattern).
+    document:
+        When given, the view is materialised immediately over this document.
+    name:
+        View name; defaults to the pattern's name.
+    id_scheme:
+        Identifier-scheme properties; defaults to Dewey IDs.
+    id_function:
+        The actual ``fID`` used during materialisation; defaults to the
+        node's Dewey identifier.
+    """
+
+    def __init__(
+        self,
+        pattern: TreePattern,
+        document: Optional[XMLDocument] = None,
+        name: Optional[str] = None,
+        id_scheme: Optional[IdScheme] = None,
+        id_function: Optional[Callable] = None,
+    ):
+        self.pattern = pattern
+        self.name = name or pattern.name
+        self.id_scheme = id_scheme or IdScheme.dewey()
+        self._id_function = id_function or default_id_function
+        self._relation: Optional[Relation] = None
+        if document is not None:
+            self.materialize(document)
+
+    # ------------------------------------------------------------------ #
+    def materialize(self, document: XMLDocument) -> Relation:
+        """(Re)compute the view extent over ``document`` and return it."""
+        self._relation = evaluate_pattern(
+            self.pattern, document, id_function=self._id_function
+        )
+        return self._relation
+
+    @property
+    def relation(self) -> Relation:
+        """The materialised extent (raises if the view was never materialised)."""
+        if self._relation is None:
+            raise ReproError(
+                f"view {self.name!r} has not been materialised over any document"
+            )
+        return self._relation
+
+    @property
+    def is_materialized(self) -> bool:
+        """True iff the view has a materialised extent."""
+        return self._relation is not None
+
+    def schema(self):
+        """The view's column list (computable without materialising)."""
+        columns, _ = pattern_schema(self.pattern)
+        return columns
+
+    def column_names(self) -> list[str]:
+        """Names of the view's columns."""
+        return [column.name for column in self.schema()]
+
+    def __repr__(self) -> str:
+        status = f"rows={len(self._relation)}" if self._relation is not None else "unmaterialised"
+        return f"<MaterializedView {self.name!r} {self.pattern.to_text()} {status}>"

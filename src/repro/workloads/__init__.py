@@ -1,0 +1,47 @@
+"""Workload generators used by the experimental evaluation (Section 5).
+
+The paper's experiments run over XMark documents, two DBLP snapshots and the
+Shakespeare / NASA / SwissProt corpora.  Those corpora are not redistributable
+here, so this package generates *structurally faithful* synthetic documents:
+the generators reproduce each corpus' element hierarchy (and therefore its
+structural summary, which is all the containment / rewriting algorithms ever
+look at), at a configurable scale.
+
+Also provided are the tree-pattern versions of the 20 XMark queries
+(Figure 13) and the random pattern / view generators used in Figures 13-15.
+"""
+
+from repro.workloads.xmark import (
+    XMARK_QUERY_PATTERNS,
+    generate_xmark_document,
+    xmark_query_patterns,
+    xmark_spec,
+)
+from repro.workloads.dblp import generate_dblp_document, dblp_spec
+from repro.workloads.corpora import (
+    generate_nasa_document,
+    generate_shakespeare_document,
+    generate_swissprot_document,
+)
+from repro.workloads.synthetic import (
+    SyntheticPatternConfig,
+    generate_random_pattern,
+    generate_random_views,
+    seed_tag_views,
+)
+
+__all__ = [
+    "xmark_spec",
+    "generate_xmark_document",
+    "xmark_query_patterns",
+    "XMARK_QUERY_PATTERNS",
+    "dblp_spec",
+    "generate_dblp_document",
+    "generate_shakespeare_document",
+    "generate_nasa_document",
+    "generate_swissprot_document",
+    "SyntheticPatternConfig",
+    "generate_random_pattern",
+    "generate_random_views",
+    "seed_tag_views",
+]

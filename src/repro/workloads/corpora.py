@@ -1,0 +1,211 @@
+"""Shakespeare-, NASA- and SwissProt-like documents (Table 1 rows).
+
+Only the structural summary of these corpora matters to the paper's
+algorithms, so each generator reproduces the publicly documented element
+hierarchy of its corpus at a small scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.xmltree.generator import ChildSpec, RandomDocumentSpec, generate_random_document
+from repro.xmltree.node import XMLDocument
+
+__all__ = [
+    "generate_shakespeare_document",
+    "generate_nasa_document",
+    "generate_swissprot_document",
+]
+
+_LINES = ["to be or not to be", "now is the winter", "friends romans countrymen"]
+_SPEAKERS = ["HAMLET", "OTHELLO", "BRUTUS", "PORTIA"]
+
+
+def _shakespeare_spec() -> RandomDocumentSpec:
+    children = {
+        "PLAY": [
+            ChildSpec("TITLE"),
+            ChildSpec("FM"),
+            ChildSpec("PERSONAE"),
+            ChildSpec("SCNDESCR"),
+            ChildSpec("PLAYSUBT"),
+            ChildSpec("INDUCT", probability=0.3),
+            ChildSpec("PROLOGUE", probability=0.5),
+            ChildSpec("ACT", 2, 5),
+            ChildSpec("EPILOGUE", probability=0.4),
+        ],
+        "FM": [ChildSpec("P", 1, 3)],
+        "PERSONAE": [
+            ChildSpec("TITLE"),
+            ChildSpec("PERSONA", 2, 6),
+            ChildSpec("PGROUP", 0, 2),
+        ],
+        "PGROUP": [ChildSpec("PERSONA", 1, 3), ChildSpec("GRPDESCR")],
+        "INDUCT": [ChildSpec("TITLE"), ChildSpec("SCENE", 1, 1)],
+        "PROLOGUE": [ChildSpec("TITLE"), ChildSpec("SPEECH", 1, 2)],
+        "EPILOGUE": [ChildSpec("TITLE"), ChildSpec("SPEECH", 1, 2)],
+        "ACT": [
+            ChildSpec("TITLE"),
+            ChildSpec("SCENE", 1, 4),
+        ],
+        "SCENE": [
+            ChildSpec("TITLE"),
+            ChildSpec("SPEECH", 2, 6),
+            ChildSpec("STAGEDIR", 0, 2),
+            ChildSpec("SUBHEAD", 0, 1, probability=0.2),
+        ],
+        "SPEECH": [
+            ChildSpec("SPEAKER", 1, 2),
+            ChildSpec("LINE", 1, 5),
+            ChildSpec("STAGEDIR", 0, 1, probability=0.2),
+        ],
+        "LINE": [ChildSpec("STAGEDIR", 0, 1, probability=0.1)],
+    }
+    values = {
+        "TITLE": ["Hamlet", "Act I", "Scene II"],
+        "P": ["printed text"],
+        "PERSONA": _SPEAKERS,
+        "GRPDESCR": ["senators"],
+        "SCNDESCR": ["SCENE. Elsinore."],
+        "PLAYSUBT": ["HAMLET"],
+        "SPEAKER": _SPEAKERS,
+        "LINE": _LINES,
+        "STAGEDIR": ["Exit", "Enter the king"],
+        "SUBHEAD": ["subhead"],
+    }
+    return RandomDocumentSpec(
+        root="PLAY", children=children, values=values, max_depth=7, max_recursion=1
+    )
+
+
+def generate_shakespeare_document(seed: int = 0, name: Optional[str] = None) -> XMLDocument:
+    """Generate a Shakespeare-play-like document."""
+    return generate_random_document(
+        _shakespeare_spec(), rng=random.Random(seed), name=name or "shakespeare"
+    )
+
+
+def _nasa_spec() -> RandomDocumentSpec:
+    children = {
+        "datasets": [ChildSpec("dataset", 2, 6)],
+        "dataset": [
+            ChildSpec("title"),
+            ChildSpec("altname", 0, 2),
+            ChildSpec("reference"),
+            ChildSpec("keywords", probability=0.7),
+            ChildSpec("descriptions"),
+            ChildSpec("identifier"),
+            ChildSpec("history", probability=0.5),
+            ChildSpec("tableHead", probability=0.6),
+        ],
+        "reference": [ChildSpec("source")],
+        "source": [ChildSpec("other")],
+        "other": [
+            ChildSpec("title"),
+            ChildSpec("author", 1, 3),
+            ChildSpec("name"),
+            ChildSpec("publisher", probability=0.6),
+            ChildSpec("city", probability=0.5),
+            ChildSpec("date"),
+        ],
+        "author": [ChildSpec("initial", 0, 2), ChildSpec("lastName")],
+        "date": [ChildSpec("year")],
+        "keywords": [ChildSpec("keyword", 1, 4)],
+        "descriptions": [ChildSpec("description", 1, 2)],
+        "description": [ChildSpec("para", 1, 3)],
+        "history": [ChildSpec("ingest", probability=0.8)],
+        "ingest": [ChildSpec("creator"), ChildSpec("date")],
+        "tableHead": [ChildSpec("tableLinks", probability=0.7), ChildSpec("field", 1, 3)],
+        "field": [ChildSpec("name"), ChildSpec("definition")],
+        "tableLinks": [ChildSpec("tableLink", 1, 2)],
+    }
+    values = {
+        "title": ["star catalog", "asteroid survey"],
+        "altname": ["SAO", "HD"],
+        "name": ["catalogue", "ra", "dec"],
+        "publisher": ["NASA ADC"],
+        "city": ["Greenbelt"],
+        "year": list(range(1980, 2005)),
+        "initial": ["A", "B"],
+        "lastName": ["Smith", "Jones"],
+        "keyword": ["positional data", "photometry"],
+        "para": ["this data set contains ..."],
+        "identifier": ["I/239", "II/183"],
+        "creator": ["adc"],
+        "definition": ["right ascension"],
+        "tableLink": ["table1.dat"],
+    }
+    return RandomDocumentSpec(
+        root="datasets", children=children, values=values, max_depth=8, max_recursion=1
+    )
+
+
+def generate_nasa_document(seed: int = 0, name: Optional[str] = None) -> XMLDocument:
+    """Generate a NASA-astronomy-catalogue-like document."""
+    return generate_random_document(
+        _nasa_spec(), rng=random.Random(seed), name=name or "nasa"
+    )
+
+
+def _swissprot_spec() -> RandomDocumentSpec:
+    children = {
+        "root": [ChildSpec("Entry", 3, 8)],
+        "Entry": [
+            ChildSpec("AC"),
+            ChildSpec("Mod", 1, 2),
+            ChildSpec("Descr"),
+            ChildSpec("Species", 1, 2),
+            ChildSpec("Org", 1, 3),
+            ChildSpec("Ref", 1, 3),
+            ChildSpec("Keyword", 0, 4),
+            ChildSpec("Features", probability=0.8),
+            ChildSpec("PE", probability=0.4),
+        ],
+        "Ref": [
+            ChildSpec("Author", 1, 4),
+            ChildSpec("Cite"),
+            ChildSpec("MedlineID", probability=0.6),
+            ChildSpec("RP", probability=0.5),
+            ChildSpec("DB", probability=0.3),
+        ],
+        "Features": [
+            ChildSpec("SIGNAL", probability=0.4),
+            ChildSpec("CHAIN", 0, 2),
+            ChildSpec("DOMAIN", 0, 3),
+            ChildSpec("BINDING", 0, 2, probability=0.4),
+            ChildSpec("CONFLICT", 0, 1, probability=0.2),
+        ],
+        "SIGNAL": [ChildSpec("Descr"), ChildSpec("From"), ChildSpec("To")],
+        "CHAIN": [ChildSpec("Descr"), ChildSpec("From"), ChildSpec("To")],
+        "DOMAIN": [ChildSpec("Descr"), ChildSpec("From"), ChildSpec("To")],
+        "BINDING": [ChildSpec("Descr"), ChildSpec("From"), ChildSpec("To")],
+        "CONFLICT": [ChildSpec("Descr"), ChildSpec("From"), ChildSpec("To")],
+    }
+    values = {
+        "AC": ["P01111", "Q8N726"],
+        "Mod": ["21-JUL-1986"],
+        "Descr": ["ras-related protein", "signal peptide"],
+        "Species": ["Homo sapiens"],
+        "Org": ["Eukaryota", "Metazoa"],
+        "Author": ["Brown A.", "Green B."],
+        "Cite": ["Nature 300:143"],
+        "MedlineID": ["83056534"],
+        "RP": ["SEQUENCE"],
+        "DB": ["EMBL"],
+        "Keyword": ["GTP-binding", "Proto-oncogene"],
+        "From": list(range(1, 50, 7)),
+        "To": list(range(51, 200, 17)),
+        "PE": ["1: Evidence at protein level"],
+    }
+    return RandomDocumentSpec(
+        root="root", children=children, values=values, max_depth=5, max_recursion=1
+    )
+
+
+def generate_swissprot_document(seed: int = 0, name: Optional[str] = None) -> XMLDocument:
+    """Generate a SwissProt-like protein-annotation document."""
+    return generate_random_document(
+        _swissprot_spec(), rng=random.Random(seed), name=name or "swissprot"
+    )

@@ -1,0 +1,160 @@
+"""DBLP-like bibliographic documents.
+
+The DBLP database is a flat sequence of bibliographic records.  The 2002 and
+2005 snapshots used in Table 1 differ mostly in volume and in a handful of
+additional element types; the two specs below mirror that: the 2005 variant
+adds the record types and fields that appeared between the snapshots, so its
+summary is slightly larger (145 vs 159 nodes in the paper; proportionally
+smaller here).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.xmltree.generator import ChildSpec, RandomDocumentSpec, generate_random_document
+from repro.xmltree.node import XMLDocument
+
+__all__ = ["dblp_spec", "generate_dblp_document"]
+
+_AUTHORS = ["a. turing", "e. codd", "g. hopper", "d. knuth", "b. liskov", "j. gray"]
+_TITLES = ["on views", "on trees", "on joins", "on paths", "on queries"]
+_JOURNALS = ["tods", "vldbj", "tkde", "sigmod record"]
+_BOOKTITLES = ["vldb", "sigmod", "icde", "pods", "edbt"]
+
+
+def _record_fields(extra: bool) -> list[ChildSpec]:
+    fields = [
+        ChildSpec("author", 1, 3),
+        ChildSpec("title"),
+        ChildSpec("year"),
+        ChildSpec("pages", probability=0.8),
+        ChildSpec("ee", probability=0.6),
+        ChildSpec("url", probability=0.7),
+        ChildSpec("cite", 0, 2, probability=0.3),
+        ChildSpec("note", probability=0.1),
+        ChildSpec("crossref", probability=0.4),
+    ]
+    if extra:
+        fields.append(ChildSpec("cdrom", probability=0.2))
+    return fields
+
+
+def dblp_spec(snapshot: str = "2005") -> RandomDocumentSpec:
+    """Specification for a DBLP-like document (``snapshot`` in {"2002","2005"})."""
+    extra = snapshot >= "2005"
+    children: dict[str, list[ChildSpec]] = {
+        "dblp": [
+            ChildSpec("article", 1, 4),
+            ChildSpec("inproceedings", 1, 4),
+            ChildSpec("proceedings", 1, 2),
+            ChildSpec("phdthesis", 0, 1, probability=0.7),
+            ChildSpec("mastersthesis", 0, 1, probability=0.4),
+            ChildSpec("www", 0, 2, probability=0.6),
+            ChildSpec("book", 0, 1, probability=0.5),
+            ChildSpec("incollection", 0, 1, probability=0.5 if extra else 0.3),
+        ],
+        "article": _record_fields(extra) + [
+            ChildSpec("journal"),
+            ChildSpec("volume", probability=0.8),
+            ChildSpec("number", probability=0.7),
+            ChildSpec("month", probability=0.3),
+        ],
+        "inproceedings": _record_fields(extra) + [ChildSpec("booktitle")],
+        "incollection": _record_fields(extra) + [ChildSpec("booktitle")],
+        "proceedings": [
+            ChildSpec("editor", 1, 2),
+            ChildSpec("title"),
+            ChildSpec("booktitle"),
+            ChildSpec("publisher"),
+            ChildSpec("year"),
+            ChildSpec("isbn", probability=0.7),
+            ChildSpec("series", probability=0.5),
+            ChildSpec("url", probability=0.6),
+        ],
+        "book": [
+            ChildSpec("author", 1, 2),
+            ChildSpec("title"),
+            ChildSpec("publisher"),
+            ChildSpec("year"),
+            ChildSpec("isbn", probability=0.8),
+        ],
+        "phdthesis": [
+            ChildSpec("author"),
+            ChildSpec("title"),
+            ChildSpec("year"),
+            ChildSpec("school"),
+        ],
+        "mastersthesis": [
+            ChildSpec("author"),
+            ChildSpec("title"),
+            ChildSpec("year"),
+            ChildSpec("school"),
+        ],
+        "www": [
+            ChildSpec("author", 0, 2),
+            ChildSpec("title"),
+            ChildSpec("url"),
+        ],
+    }
+    if extra:
+        children["article"].append(ChildSpec("publnr", probability=0.1))
+    values = {
+        "author": _AUTHORS,
+        "editor": _AUTHORS,
+        "title": _TITLES,
+        "year": list(range(1995, 2007)),
+        "pages": ["1-10", "11-20", "21-30"],
+        "ee": ["http://doi.example/1", "http://doi.example/2"],
+        "url": ["db/journals/x", "db/conf/y"],
+        "journal": _JOURNALS,
+        "booktitle": _BOOKTITLES,
+        "volume": list(range(1, 30)),
+        "number": list(range(1, 12)),
+        "month": ["January", "June", "October"],
+        "publisher": ["ACM", "Springer", "IEEE"],
+        "isbn": ["0-123", "0-456"],
+        "series": ["LNCS"],
+        "school": ["MIT", "Stanford", "Orsay"],
+        "cite": ["ref1", "ref2"],
+        "note": ["invited"],
+        "crossref": ["conf/vldb/2005"],
+        "cdrom": ["CD1"],
+        "publnr": ["P-1"],
+    }
+    return RandomDocumentSpec(
+        root="dblp", children=children, values=values, max_depth=4, max_recursion=1
+    )
+
+
+def generate_dblp_document(
+    snapshot: str = "2005",
+    scale: float = 1.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> XMLDocument:
+    """Generate a DBLP-like document for the given snapshot year."""
+    rng = random.Random(seed)
+    spec = dblp_spec(snapshot)
+    # scale by repeating top-level record draws: enlarge the root cardinality
+    scaled_children = dict(spec.children)
+    scaled_children["dblp"] = [
+        ChildSpec(
+            child.label,
+            max(child.min_count, int(child.min_count * scale)),
+            max(child.max_count, int(child.max_count * scale)),
+            child.probability,
+        )
+        for child in spec.children["dblp"]
+    ]
+    spec = RandomDocumentSpec(
+        root=spec.root,
+        children=scaled_children,
+        values=spec.values,
+        max_depth=spec.max_depth,
+        max_recursion=spec.max_recursion,
+    )
+    return generate_random_document(
+        spec, rng=rng, name=name or f"dblp-{snapshot}(scale={scale})"
+    )

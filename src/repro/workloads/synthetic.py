@@ -1,0 +1,175 @@
+"""Random patterns and view sets (the synthetic workloads of Section 5).
+
+Figure 13/14 use randomly generated, *satisfiable* patterns of 3-13 nodes
+with fan-out 3, 10% ``*`` labels, 20% value predicates, 50% ``//`` edges and
+50% optional edges, with 1-3 return nodes fixed to given labels.  Figure 15
+uses a view set made of 2-node "seed" views (root + one tag, storing ID and
+V) plus 100 random 3-node views with 50% optional edges where nodes store
+``ID`` and ``V`` with probability 0.75.
+
+Satisfiability is guaranteed by construction: patterns are grown by sampling
+descendant paths of the summary itself, so every pattern has at least one
+embedding into the summary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.patterns.pattern import Axis, PatternNode, TreePattern
+from repro.patterns.predicates import ValueFormula
+from repro.summary.dataguide import Summary
+from repro.summary.node import SummaryNode
+
+__all__ = [
+    "SyntheticPatternConfig",
+    "generate_random_pattern",
+    "generate_random_views",
+    "seed_tag_views",
+]
+
+
+@dataclass
+class SyntheticPatternConfig:
+    """Parameters of the random pattern generator (Section 5 defaults)."""
+
+    size: int = 6
+    fanout: int = 3
+    wildcard_probability: float = 0.1
+    predicate_probability: float = 0.2
+    descendant_probability: float = 0.5
+    optional_probability: float = 0.5
+    value_pool_size: int = 10
+    return_labels: Sequence[str] = ()
+    return_count: int = 1
+    store_attributes: Sequence[str] = ("ID", "V")
+
+
+def generate_random_pattern(
+    summary: Summary,
+    config: SyntheticPatternConfig,
+    rng: Optional[random.Random] = None,
+    name: str = "synthetic",
+) -> TreePattern:
+    """Generate one satisfiable random pattern over ``summary``.
+
+    The pattern is grown by repeatedly attaching a random summary descendant
+    below a random existing pattern node, so an embedding into the summary
+    always exists.  Labels, predicates, edge kinds and optionality are then
+    randomised according to ``config``.
+    """
+    rng = rng or random.Random(0)
+    root_summary = summary.root
+    root = PatternNode(root_summary.label)
+    grown: list[tuple[PatternNode, SummaryNode]] = [(root, root_summary)]
+
+    while len(grown) < config.size:
+        parent, parent_summary = rng.choice(
+            [entry for entry in grown if len(entry[0].children) < config.fanout]
+            or grown
+        )
+        candidates = list(parent_summary.iter_descendants())
+        if not candidates:
+            # pick a different parent next round; guard against degenerate summaries
+            if all(not s.children for _, s in grown):
+                break
+            continue
+        target = rng.choice(candidates)
+        use_descendant = rng.random() < config.descendant_probability
+        if not use_descendant and target.parent is not parent_summary:
+            # a / edge is only correct towards a direct child
+            target = rng.choice(parent_summary.children) if parent_summary.children else target
+            use_descendant = target.parent is not parent_summary
+        axis = Axis.DESCENDANT if use_descendant else Axis.CHILD
+        label = "*" if rng.random() < config.wildcard_probability else target.label
+        node = parent.add_child(
+            label,
+            axis=axis,
+            optional=rng.random() < config.optional_probability,
+        )
+        if rng.random() < config.predicate_probability:
+            node.predicate = ValueFormula.eq(rng.randrange(config.value_pool_size))
+        grown.append((node, target))
+
+    pattern = TreePattern(root, name=name)
+    _assign_return_nodes(pattern, grown, config, rng)
+    return pattern
+
+
+def _assign_return_nodes(
+    pattern: TreePattern,
+    grown: list[tuple[PatternNode, SummaryNode]],
+    config: SyntheticPatternConfig,
+    rng: random.Random,
+) -> None:
+    """Pick return nodes, preferring nodes whose label is in the fixed list."""
+    preferred = [
+        node
+        for node, summary_node in grown
+        if config.return_labels and summary_node.label in config.return_labels
+    ]
+    pool = preferred or [node for node, _ in grown]
+    count = min(config.return_count, len(pool))
+    for node in rng.sample(pool, count):
+        node.attributes = tuple(config.store_attributes)
+    if not pattern.return_nodes():
+        grown[-1][0].attributes = tuple(config.store_attributes)
+
+
+def generate_random_views(
+    summary: Summary,
+    count: int = 100,
+    size: int = 3,
+    optional_probability: float = 0.5,
+    store_probability: float = 0.75,
+    seed: int = 0,
+) -> list[TreePattern]:
+    """The Figure 15 random view patterns (3 nodes, 50% optional edges,
+    each node storing a structural ID and V with probability 0.75)."""
+    rng = random.Random(seed)
+    views = []
+    for index in range(count):
+        config = SyntheticPatternConfig(
+            size=size,
+            optional_probability=optional_probability,
+            predicate_probability=0.0,
+            wildcard_probability=0.0,
+            return_count=size,
+            store_attributes=("ID", "V"),
+        )
+        pattern = generate_random_pattern(
+            summary, config, rng=rng, name=f"rv{index}"
+        )
+        # each node stores (ID, V) with the configured probability
+        for node in pattern.nodes():
+            if rng.random() < store_probability:
+                node.attributes = ("ID", "V")
+            elif node.parent is not None:
+                node.attributes = ()
+        if not pattern.return_nodes():
+            pattern.nodes()[-1].attributes = ("ID", "V")
+        views.append(pattern)
+    return views
+
+
+def seed_tag_views(summary: Summary, attributes: Sequence[str] = ("ID", "V")) -> list[TreePattern]:
+    """The Figure 15 seed views: one 2-node view per tag of the summary.
+
+    Each view is ``root(//tag[ID,V])``; together they guarantee that some
+    rewriting exists for every query over the summary.
+    """
+    root_label = summary.root.label
+    if not root_label:
+        raise WorkloadError("summary has no root label")
+    labels = sorted(
+        {node.label for node in summary.iter_nodes() if node.parent is not None}
+    )
+    views = []
+    for label in labels:
+        root = PatternNode(root_label)
+        root.add_child(label, axis=Axis.DESCENDANT, attributes=tuple(attributes))
+        views.append(TreePattern(root, name=f"seed_{label}"))
+    return views

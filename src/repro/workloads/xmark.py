@@ -1,0 +1,291 @@
+"""XMark-like documents and the 20 XMark query patterns.
+
+The XMark benchmark [28] models an online auction site.  The generator below
+reproduces its element hierarchy — six regional item collections, item
+descriptions with the recursive ``parlist``/``listitem`` structure, mailboxes,
+people with profiles, open and closed auctions — so the structural summary of
+a generated document has the same shape (a few hundred nodes, recursion of
+bounded depth) as the summaries the paper reports in Table 1.
+
+``xmark_query_patterns`` returns tree-pattern translations of XMark queries
+Q1-Q20, the workload of Figure 13 (containment) and Figure 15 (rewriting).
+The translations keep each query's *pattern component*: navigation, value
+predicates, optional return paths and nesting; constructs outside the pattern
+language (aggregation, ordering, arithmetic) are dropped, exactly as the
+paper does when it "extracts the patterns of the 20 XMark queries".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.patterns.parser import parse_pattern
+from repro.patterns.pattern import TreePattern
+from repro.xmltree.generator import ChildSpec, RandomDocumentSpec, generate_random_document
+from repro.xmltree.node import XMLDocument
+
+__all__ = [
+    "xmark_spec",
+    "generate_xmark_document",
+    "xmark_query_patterns",
+    "XMARK_QUERY_PATTERNS",
+]
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_NAMES = ["pen", "ink", "vase", "lamp", "watch", "ring", "globe", "mask"]
+_WORDS = ["gold", "steel", "columbus", "invincia", "plated", "fountain", "classic", "rare"]
+_PEOPLE = ["alice", "bob", "carol", "dave", "erin", "frank"]
+_DATES = ["1/4/2006", "2/5/2006", "3/6/2006", "4/7/2006"]
+_CITIES = ["paris", "rome", "tokyo", "lima", "oslo", "cairo"]
+
+
+def xmark_spec(item_fanout: int = 3, people: int = 4, auctions: int = 3) -> RandomDocumentSpec:
+    """Build the XMark-like document specification.
+
+    ``item_fanout`` items are generated per region (on average), ``people``
+    persons and ``auctions`` open/closed auctions.
+    """
+    children: dict[str, list[ChildSpec]] = {
+        "site": [
+            ChildSpec("regions"),
+            ChildSpec("categories"),
+            ChildSpec("catgraph"),
+            ChildSpec("people"),
+            ChildSpec("open_auctions"),
+            ChildSpec("closed_auctions"),
+        ],
+        "regions": [ChildSpec(region) for region in _REGIONS],
+        "categories": [ChildSpec("category", 1, 3)],
+        "category": [ChildSpec("name"), ChildSpec("description")],
+        "catgraph": [ChildSpec("edge", 1, 3)],
+        "edge": [ChildSpec("from"), ChildSpec("to")],
+        "people": [ChildSpec("person", 1, max(1, people))],
+        "person": [
+            ChildSpec("name"),
+            ChildSpec("emailaddress"),
+            ChildSpec("phone", probability=0.6),
+            ChildSpec("address", probability=0.7),
+            ChildSpec("homepage", probability=0.4),
+            ChildSpec("creditcard", probability=0.5),
+            ChildSpec("profile", probability=0.8),
+            ChildSpec("watches", probability=0.5),
+        ],
+        "address": [
+            ChildSpec("street"),
+            ChildSpec("city"),
+            ChildSpec("country"),
+            ChildSpec("zipcode"),
+        ],
+        "profile": [
+            ChildSpec("interest", 0, 3),
+            ChildSpec("education", probability=0.5),
+            ChildSpec("gender", probability=0.6),
+            ChildSpec("business"),
+            ChildSpec("age", probability=0.7),
+        ],
+        "watches": [ChildSpec("watch", 1, 2)],
+        "watch": [ChildSpec("open_auction_ref", probability=0.9)],
+        "open_auctions": [ChildSpec("open_auction", 1, max(1, auctions))],
+        "open_auction": [
+            ChildSpec("initial"),
+            ChildSpec("reserve", probability=0.8),
+            ChildSpec("bidder", 1, 3, probability=0.85),
+            ChildSpec("current"),
+            ChildSpec("privacy", probability=0.4),
+            ChildSpec("itemref"),
+            ChildSpec("seller"),
+            ChildSpec("annotation"),
+            ChildSpec("quantity"),
+            ChildSpec("type"),
+            ChildSpec("interval"),
+        ],
+        "bidder": [
+            ChildSpec("date"),
+            ChildSpec("time"),
+            ChildSpec("personref"),
+            ChildSpec("increase"),
+        ],
+        "interval": [ChildSpec("start"), ChildSpec("end")],
+        "closed_auctions": [ChildSpec("closed_auction", 1, max(1, auctions))],
+        "closed_auction": [
+            ChildSpec("seller"),
+            ChildSpec("buyer"),
+            ChildSpec("itemref"),
+            ChildSpec("price"),
+            ChildSpec("date"),
+            ChildSpec("quantity"),
+            ChildSpec("type"),
+            ChildSpec("annotation"),
+        ],
+        "annotation": [
+            ChildSpec("author"),
+            ChildSpec("description", probability=0.8),
+            ChildSpec("happiness"),
+        ],
+        # the item subtree, shared by all six regions
+        "item": [
+            ChildSpec("location"),
+            ChildSpec("quantity"),
+            ChildSpec("name"),
+            ChildSpec("payment", probability=0.7),
+            ChildSpec("description"),
+            ChildSpec("shipping", probability=0.6),
+            ChildSpec("incategory", 1, 2),
+            ChildSpec("mailbox", probability=0.9),
+        ],
+        "description": [ChildSpec("text", probability=0.6), ChildSpec("parlist", probability=0.7)],
+        "parlist": [ChildSpec("listitem", 1, 3)],
+        "listitem": [ChildSpec("text", probability=0.8), ChildSpec("parlist", probability=0.3)],
+        "text": [
+            ChildSpec("bold", 0, 1, probability=0.4),
+            ChildSpec("keyword", 0, 2, probability=0.6),
+            ChildSpec("emph", 0, 1, probability=0.3),
+        ],
+        "mailbox": [ChildSpec("mail", 0, 2)],
+        "mail": [
+            ChildSpec("from"),
+            ChildSpec("to"),
+            ChildSpec("date"),
+            ChildSpec("text"),
+        ],
+        "incategory": [],
+    }
+    for region in _REGIONS:
+        children[region] = [ChildSpec("item", 1, max(1, item_fanout))]
+
+    values = {
+        "name": _NAMES,
+        "emailaddress": [f"{p}@example.org" for p in _PEOPLE],
+        "phone": ["+33-1-234", "+1-555-777", "+81-3-999"],
+        "street": ["main st", "oak ave", "rue de lille"],
+        "city": _CITIES,
+        "country": ["france", "usa", "japan", "peru"],
+        "zipcode": list(range(10000, 10010)),
+        "homepage": ["http://example.org/~a", "http://example.org/~b"],
+        "creditcard": ["1111 2222", "3333 4444"],
+        "interest": ["category1", "category2", "category3"],
+        "education": ["graduate", "college", "highschool"],
+        "gender": ["male", "female"],
+        "business": ["yes", "no"],
+        "age": list(range(18, 80, 7)),
+        "initial": [round(x * 1.5, 2) for x in range(1, 40)],
+        "reserve": [round(x * 2.5, 2) for x in range(1, 40)],
+        "current": [round(x * 3.5, 2) for x in range(1, 40)],
+        "increase": [1.5, 3.0, 4.5, 6.0],
+        "price": [round(x * 4.0, 2) for x in range(1, 40)],
+        "quantity": [1, 2, 3],
+        "type": ["Regular", "Featured"],
+        "privacy": ["Yes", "No"],
+        "location": ["United States", "France", "Japan", "Peru"],
+        "payment": ["Cash", "Creditcard", "Money order"],
+        "shipping": ["Will ship internationally", "Buyer pays shipping"],
+        "date": _DATES,
+        "time": ["10:12:24", "18:30:00"],
+        "start": _DATES,
+        "end": _DATES,
+        "from": [f"{p}@mail.org" for p in _PEOPLE],
+        "to": [f"{p}@mail.org" for p in _PEOPLE],
+        "author": ["person0", "person1", "person2"],
+        "happiness": list(range(1, 10)),
+        "keyword": _WORDS,
+        "bold": _WORDS,
+        "emph": _WORDS,
+        "text": ["some running text", "another paragraph", "lorem ipsum"],
+        "itemref": ["item0", "item1", "item2"],
+        "seller": ["person0", "person1"],
+        "buyer": ["person0", "person2"],
+        "personref": ["person0", "person1", "person2"],
+        "open_auction_ref": ["open_auction0", "open_auction1"],
+        "edge": [""],
+        "incategory": ["category1", "category2", "category3"],
+    }
+    return RandomDocumentSpec(
+        root="site",
+        children=children,
+        values=values,
+        max_depth=14,
+        max_recursion=2,
+    )
+
+
+def generate_xmark_document(
+    scale: float = 1.0, seed: int = 0, name: Optional[str] = None
+) -> XMLDocument:
+    """Generate an XMark-like document.
+
+    ``scale`` loosely plays the role of XMark's scaling factor: it multiplies
+    the per-region item fan-out and the people / auction counts.
+    """
+    rng = random.Random(seed)
+    spec = xmark_spec(
+        item_fanout=max(1, int(3 * scale)),
+        people=max(1, int(4 * scale)),
+        auctions=max(1, int(3 * scale)),
+    )
+    return generate_random_document(
+        spec, rng=rng, name=name or f"xmark(scale={scale})"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The 20 XMark query patterns
+# --------------------------------------------------------------------------- #
+# Pattern translations of XMark Q1-Q20 (pattern component only, as in Sec. 5).
+_XMARK_QUERY_TEXTS: dict[str, str] = {
+    # Q1: person with id person0 -> name
+    "Q1": "site(/people(/person[ID](/name[V], /emailaddress)))",
+    # Q2: initial increases of every open auction (first bidder)
+    "Q2": "site(/open_auctions(/open_auction[ID](/bidder(/increase[V]))))",
+    # Q3: auctions whose first and current increase differ (two bidder branches)
+    "Q3": "site(/open_auctions(/open_auction[ID](/bidder(/increase[V]), /current[V])))",
+    # Q4: auctions with bidders and a reserve
+    "Q4": "site(/open_auctions(/open_auction[ID](/bidder(/personref), /reserve[V])))",
+    # Q5: closed auctions with a price (>= 40 in the original)
+    "Q5": "site(/closed_auctions(/closed_auction[ID](/price[V]{v>40})))",
+    # Q6: all items in all regions
+    "Q6": "site(/regions(//item[ID]))",
+    # Q7: counts of descriptions, annotations and mails (three unconstrained branches)
+    "Q7": "site(//?description[C], //?annotation[C], //?mail[C])",
+    # Q8: people joined with the auctions they bought (buyer side)
+    "Q8": "site(/people(/person[ID](/name[V])), /closed_auctions(/closed_auction(/buyer[V])))",
+    # Q9: like Q8 plus the item sold
+    "Q9": "site(/people(/person[ID](/name[V])), /closed_auctions(/closed_auction(/buyer[V], /itemref[V])))",
+    # Q10: person profiles with many optional fields, grouped per person
+    "Q10": (
+        "site(/people(/person[ID](/name[V], /?emailaddress[V], /?phone[V], "
+        "/?address(/?city[V]), /?profile(/?age[V], /?education[V], /?~interest[V]))))"
+    ),
+    # Q11: people joined with open auctions through initial values
+    "Q11": "site(/people(/person[ID](/name[V], /profile(/age[V]))), /open_auctions(/open_auction(/initial[V])))",
+    # Q12: like Q11 restricted to richer sellers (age predicate stands in)
+    "Q12": "site(/people(/person[ID](/name[V], /profile(/age[V]{v>40}))), /open_auctions(/open_auction(/initial[V])))",
+    # Q13: items of a single region with their descriptions
+    "Q13": "site(/regions(/australia(/item[ID](/name[V], /description[C]))))",
+    # Q14: items whose description mentions a keyword
+    "Q14": "site(//item[ID](/name[V], /description(//keyword[V])))",
+    # Q15: a long path inside descriptions
+    "Q15": "site(//item(/description(/parlist(/listitem(/text(/keyword[V]))))))",
+    # Q16: a long path ending at bold inside auctions' annotations
+    "Q16": "site(/open_auctions(/open_auction[ID](/annotation(/description[C]))))",
+    # Q17: people without a homepage (optional edge keeps them)
+    "Q17": "site(/people(/person[ID](/name[V], /?homepage[V])))",
+    # Q18: all increases of all bidders
+    "Q18": "site(/open_auctions(/open_auction(/bidder(/increase[V]))))",
+    # Q19: items with their location, grouped per item
+    "Q19": "site(/regions(//item[ID](/location[V], /name[V])))",
+    # Q20: people grouped by income/profile presence (optional profile branches)
+    "Q20": "site(/people(/person[ID](/?profile(/?age[V], /?gender[V]), /?creditcard[V])))",
+}
+
+
+def xmark_query_patterns() -> dict[str, TreePattern]:
+    """Parse and return the 20 XMark query patterns, keyed ``Q1`` ... ``Q20``."""
+    return {
+        name: parse_pattern(text, name=name)
+        for name, text in _XMARK_QUERY_TEXTS.items()
+    }
+
+
+XMARK_QUERY_PATTERNS = dict(_XMARK_QUERY_TEXTS)

@@ -1,0 +1,36 @@
+"""XML substrate: ordered labelled trees with structural identifiers.
+
+This package implements the data model of Section 2.1 of the paper: an XML
+document is an unranked, labelled, ordered tree whose nodes carry
+
+* a unique identity (a Dewey-style structural identifier, see
+  :mod:`repro.xmltree.ids`),
+* a tag (element or attribute name), and
+* optionally an atomic value.
+
+The package also provides a small XML parser/serializer, a parser for the
+compact parenthesized notation used throughout the paper (``a(b c(d))``) and
+random-document generators used by the test suite and the workloads.
+"""
+
+from repro.xmltree.ids import DeweyID
+from repro.xmltree.node import XMLDocument, XMLNode
+from repro.xmltree.builder import element, parse_parenthesized, tree
+from repro.xmltree.parser import parse_xml_file, parse_xml_string
+from repro.xmltree.serializer import to_parenthesized, to_xml_string
+from repro.xmltree.generator import RandomDocumentSpec, generate_random_document
+
+__all__ = [
+    "DeweyID",
+    "XMLDocument",
+    "XMLNode",
+    "element",
+    "tree",
+    "parse_parenthesized",
+    "parse_xml_file",
+    "parse_xml_string",
+    "to_parenthesized",
+    "to_xml_string",
+    "RandomDocumentSpec",
+    "generate_random_document",
+]

@@ -1,0 +1,128 @@
+"""Convenience constructors for XML trees.
+
+Two styles are supported:
+
+* a functional builder — ``element("a", element("b"), element("c", value=3))``
+* the compact parenthesized notation used in the paper (Section 2.1):
+  ``a(b c(d))`` denotes an ``a`` root with a ``b`` child and a ``c`` child
+  that itself has a ``d`` child.  Values can be attached with ``=``:
+  ``a(b="1" c(d="2"))``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XMLParseError
+from repro.xmltree.node import Atomic, XMLDocument, XMLNode
+
+__all__ = ["element", "tree", "parse_parenthesized"]
+
+
+def element(label: str, *children: XMLNode, value: Optional[Atomic] = None) -> XMLNode:
+    """Build an :class:`XMLNode` with the given label, children and value."""
+    return XMLNode(label, value=value, children=children)
+
+
+def tree(root: XMLNode, name: str = "doc") -> XMLDocument:
+    """Wrap a node into an :class:`XMLDocument` (assigning IDs and paths)."""
+    return XMLDocument(root, name=name)
+
+
+def _coerce_value(raw: str) -> Atomic:
+    """Interpret numeric-looking text as a number, otherwise keep the string."""
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
+class _ParenthesizedParser:
+    """Recursive-descent parser for the ``a(b c(d))`` notation."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> XMLNode:
+        node = self._parse_node()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise XMLParseError(
+                f"trailing characters at position {self.pos}: "
+                f"{self.text[self.pos:self.pos + 20]!r}"
+            )
+        return node
+
+    # ------------------------------------------------------------------ #
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\n\r,":
+            self.pos += 1
+
+    def _parse_name(self) -> str:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-:*@."
+        ):
+            self.pos += 1
+        if start == self.pos:
+            raise XMLParseError(
+                f"expected a node label at position {start} in {self.text!r}"
+            )
+        return self.text[start : self.pos]
+
+    def _parse_value(self) -> Atomic:
+        # called after consuming '='
+        self._skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] in "\"'":
+            quote = self.text[self.pos]
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and self.text[self.pos] != quote:
+                self.pos += 1
+            if self.pos >= len(self.text):
+                raise XMLParseError("unterminated quoted value")
+            raw = self.text[start : self.pos]
+            self.pos += 1
+            return _coerce_value(raw)
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in " \t\n\r,()":
+            self.pos += 1
+        return _coerce_value(self.text[start : self.pos])
+
+    def _parse_node(self) -> XMLNode:
+        label = self._parse_name()
+        value: Optional[Atomic] = None
+        self._skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] == "=":
+            self.pos += 1
+            value = self._parse_value()
+            self._skip_ws()
+        node = XMLNode(label, value=value)
+        if self.pos < len(self.text) and self.text[self.pos] == "(":
+            self.pos += 1
+            self._skip_ws()
+            while self.pos < len(self.text) and self.text[self.pos] != ")":
+                node.append(self._parse_node())
+                self._skip_ws()
+            if self.pos >= len(self.text):
+                raise XMLParseError(f"unbalanced parentheses in {self.text!r}")
+            self.pos += 1
+        return node
+
+
+def parse_parenthesized(text: str, name: str = "doc") -> XMLDocument:
+    """Parse the compact parenthesized notation into a document.
+
+    Example::
+
+        >>> doc = parse_parenthesized('a(b="1" c(d="2"))')
+        >>> doc.root.label
+        'a'
+    """
+    root = _ParenthesizedParser(text.strip()).parse()
+    return XMLDocument(root, name=name)

@@ -1,0 +1,164 @@
+"""Random document generation.
+
+Two generators are provided:
+
+* :func:`generate_random_document` — a schema-driven generator used by the
+  workloads package to emit XMark-, DBLP-, Shakespeare-, NASA- and
+  SwissProt-like documents.  The schema is a :class:`RandomDocumentSpec`
+  mapping a label to the children it may produce, with per-child cardinality
+  ranges and optional recursion depth limits.
+* :func:`generate_uniform_tree` — an unconstrained random tree over a small
+  alphabet, used by the property-based tests.
+
+All generators take an explicit :class:`random.Random` instance (or a seed)
+so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.xmltree.node import XMLDocument, XMLNode
+
+__all__ = [
+    "ChildSpec",
+    "RandomDocumentSpec",
+    "generate_random_document",
+    "generate_uniform_tree",
+]
+
+
+@dataclass(frozen=True)
+class ChildSpec:
+    """Cardinality specification for one child label under a parent label.
+
+    Attributes
+    ----------
+    label:
+        Label of the child element.
+    min_count, max_count:
+        Inclusive bounds on how many children with this label are generated.
+    probability:
+        Probability that this child appears at all (evaluated before the
+        cardinality draw); 1.0 makes the child mandatory, which is what makes
+        an edge *strong* in the enhanced summary.
+    """
+
+    label: str
+    min_count: int = 1
+    max_count: int = 1
+    probability: float = 1.0
+
+
+@dataclass
+class RandomDocumentSpec:
+    """Schema-like specification driving :func:`generate_random_document`.
+
+    Attributes
+    ----------
+    root:
+        Label of the document root.
+    children:
+        Mapping from a parent label to the :class:`ChildSpec` list of its
+        possible children.
+    values:
+        Mapping from a label to the candidate atomic values of such nodes;
+        a node gets a value only if its label appears here.
+    max_depth:
+        Hard bound on tree depth, which also bounds recursive element
+        expansion (XMark's ``parlist``/``listitem`` recursion, for example).
+    max_recursion:
+        Maximum number of times a label may appear on a root-to-node path;
+        this is what keeps Dataguides finite and small on recursive schemas.
+    """
+
+    root: str
+    children: Mapping[str, Sequence[ChildSpec]]
+    values: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    max_depth: int = 16
+    max_recursion: int = 2
+
+
+def _expand(
+    spec: RandomDocumentSpec,
+    label: str,
+    rng: random.Random,
+    depth: int,
+    label_counts: dict[str, int],
+) -> XMLNode:
+    node = XMLNode(label)
+    candidates = spec.values.get(label)
+    if candidates:
+        node.value = rng.choice(list(candidates))
+    if depth >= spec.max_depth:
+        return node
+    for child_spec in spec.children.get(label, ()):  # ordered as declared
+        if label_counts.get(child_spec.label, 0) >= spec.max_recursion:
+            continue
+        if rng.random() > child_spec.probability:
+            continue
+        count = rng.randint(child_spec.min_count, child_spec.max_count)
+        for _ in range(count):
+            label_counts[child_spec.label] = label_counts.get(child_spec.label, 0) + 1
+            node.append(
+                _expand(spec, child_spec.label, rng, depth + 1, label_counts)
+            )
+            label_counts[child_spec.label] -= 1
+    return node
+
+
+def generate_random_document(
+    spec: RandomDocumentSpec,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    name: str = "generated",
+) -> XMLDocument:
+    """Generate a random document conforming to ``spec``.
+
+    Either ``seed`` or an explicit ``rng`` may be given; passing neither
+    produces a generator seeded with 0 so results stay reproducible.
+    """
+    if rng is None:
+        rng = random.Random(0 if seed is None else seed)
+    if spec.root not in spec.children and spec.root not in spec.values:
+        raise WorkloadError(
+            f"the root label {spec.root!r} does not appear in the specification"
+        )
+    root = _expand(spec, spec.root, rng, 1, {spec.root: 1})
+    return XMLDocument(root, name=name)
+
+
+def generate_uniform_tree(
+    labels: Sequence[str],
+    max_depth: int = 4,
+    max_fanout: int = 3,
+    value_range: int = 10,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    name: str = "random",
+) -> XMLDocument:
+    """Generate an unconstrained random tree over ``labels``.
+
+    The root always uses ``labels[0]`` so documents over the same alphabet
+    share a root label (a prerequisite for pattern embeddings, which map the
+    pattern root to the document root).
+    """
+    if not labels:
+        raise WorkloadError("need at least one label")
+    if rng is None:
+        rng = random.Random(0 if seed is None else seed)
+
+    def build(depth: int, label: str) -> XMLNode:
+        node = XMLNode(label)
+        if rng.random() < 0.6:
+            node.value = rng.randint(0, value_range)
+        if depth < max_depth:
+            for _ in range(rng.randint(0, max_fanout)):
+                build_label = rng.choice(list(labels))
+                node.append(build(depth + 1, build_label))
+        return node
+
+    return XMLDocument(build(1, labels[0]), name=name)

@@ -1,0 +1,225 @@
+"""Ordered labelled tree nodes and documents (the data model of Section 2.1).
+
+Every :class:`XMLNode` carries a tag (``label``), an optional atomic value,
+an ordered list of children and — once attached to an :class:`XMLDocument` —
+a Dewey structural identifier and its *rooted simple path* (the ``/``-joined
+sequence of labels from the root, Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.errors import XMLError
+from repro.xmltree.ids import DeweyID
+
+__all__ = ["XMLNode", "XMLDocument"]
+
+Atomic = int | float | str
+
+
+class XMLNode:
+    """A single node of an XML tree.
+
+    Parameters
+    ----------
+    label:
+        Element (or attribute) name.
+    value:
+        Optional atomic value attached to the node.  In real XML this is the
+        concatenated text content; the paper's model allows any atomic value.
+    children:
+        Optional iterable of child nodes (appended in order).
+    """
+
+    __slots__ = ("label", "value", "children", "parent", "dewey", "path")
+
+    def __init__(
+        self,
+        label: str,
+        value: Optional[Atomic] = None,
+        children: Optional[Iterable["XMLNode"]] = None,
+    ):
+        if not label:
+            raise XMLError("node labels must be non-empty strings")
+        self.label = label
+        self.value = value
+        self.children: list[XMLNode] = []
+        self.parent: Optional[XMLNode] = None
+        self.dewey: Optional[DeweyID] = None
+        self.path: Optional[str] = None
+        if children is not None:
+            for child in children:
+                self.append(child)
+
+    # ------------------------------------------------------------------ #
+    # tree construction
+    # ------------------------------------------------------------------ #
+    def append(self, child: "XMLNode") -> "XMLNode":
+        """Append ``child`` as the last child of this node and return it."""
+        if child.parent is not None:
+            raise XMLError(
+                f"node <{child.label}> already has a parent <{child.parent.label}>"
+            )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def append_new(self, label: str, value: Optional[Atomic] = None) -> "XMLNode":
+        """Create a new node, append it as the last child, and return it."""
+        return self.append(XMLNode(label, value))
+
+    def detach(self) -> "XMLNode":
+        """Remove this node from its parent (if any) and return it."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    # ------------------------------------------------------------------ #
+    # navigation
+    # ------------------------------------------------------------------ #
+    def iter_descendants(self) -> Iterator["XMLNode"]:
+        """Yield all strict descendants in document (pre-) order."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_subtree(self) -> Iterator["XMLNode"]:
+        """Yield this node followed by all descendants in document order."""
+        yield self
+        yield from self.iter_descendants()
+
+    def iter_ancestors(self) -> Iterator["XMLNode"]:
+        """Yield strict ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def children_with_label(self, label: str) -> list["XMLNode"]:
+        """Children whose label equals ``label`` (or all children for ``*``)."""
+        if label == "*":
+            return list(self.children)
+        return [c for c in self.children if c.label == label]
+
+    def descendants_with_label(self, label: str) -> list["XMLNode"]:
+        """Strict descendants whose label equals ``label`` (or all for ``*``)."""
+        if label == "*":
+            return list(self.iter_descendants())
+        return [d for d in self.iter_descendants() if d.label == label]
+
+    def find_first(self, predicate: Callable[["XMLNode"], bool]) -> Optional["XMLNode"]:
+        """Return the first subtree node satisfying ``predicate``, if any."""
+        for node in self.iter_subtree():
+            if predicate(node):
+                return node
+        return None
+
+    # ------------------------------------------------------------------ #
+    # derived properties
+    # ------------------------------------------------------------------ #
+    @property
+    def is_leaf(self) -> bool:
+        """True iff the node has no children."""
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Depth of the node; a root has depth 1."""
+        return 1 + sum(1 for _ in self.iter_ancestors())
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted at this node."""
+        return sum(1 for _ in self.iter_subtree())
+
+    def text_content(self) -> str:
+        """Concatenation of all values in the subtree, in document order."""
+        parts = [
+            str(node.value)
+            for node in self.iter_subtree()
+            if node.value is not None
+        ]
+        return " ".join(parts)
+
+    def rooted_path(self) -> str:
+        """The rooted simple path of this node, e.g. ``/site/regions/item``."""
+        labels = [self.label]
+        labels.extend(anc.label for anc in self.iter_ancestors())
+        return "/" + "/".join(reversed(labels))
+
+    def copy(self) -> "XMLNode":
+        """Deep-copy the subtree rooted at this node (detached, no IDs)."""
+        clone = XMLNode(self.label, self.value)
+        for child in self.children:
+            clone.append(child.copy())
+        return clone
+
+    def __repr__(self) -> str:
+        ident = f" id={self.dewey}" if self.dewey is not None else ""
+        val = f" value={self.value!r}" if self.value is not None else ""
+        return f"<XMLNode {self.label}{ident}{val} children={len(self.children)}>"
+
+
+class XMLDocument:
+    """A rooted XML document.
+
+    Creating a document assigns Dewey identifiers and rooted paths to every
+    node of the tree, so structural joins and summary construction can use
+    them directly.
+    """
+
+    def __init__(self, root: XMLNode, name: str = "doc"):
+        if root.parent is not None:
+            raise XMLError("the document root must not have a parent")
+        self.root = root
+        self.name = name
+        self._nodes_by_id: dict[DeweyID, XMLNode] = {}
+        self.reindex()
+
+    # ------------------------------------------------------------------ #
+    # identifier / path maintenance
+    # ------------------------------------------------------------------ #
+    def reindex(self) -> None:
+        """(Re)assign Dewey IDs and rooted paths to every node of the tree."""
+        self._nodes_by_id.clear()
+        self._assign(self.root, DeweyID.root(), "/" + self.root.label)
+
+    def _assign(self, node: XMLNode, dewey: DeweyID, path: str) -> None:
+        node.dewey = dewey
+        node.path = path
+        self._nodes_by_id[dewey] = node
+        for ordinal, child in enumerate(node.children, start=1):
+            self._assign(child, dewey.child(ordinal), f"{path}/{child.label}")
+
+    # ------------------------------------------------------------------ #
+    # lookup helpers
+    # ------------------------------------------------------------------ #
+    def node_by_id(self, dewey: DeweyID) -> XMLNode:
+        """Return the node with the given Dewey identifier."""
+        try:
+            return self._nodes_by_id[dewey]
+        except KeyError as exc:
+            raise XMLError(f"no node with identifier {dewey} in {self.name}") from exc
+
+    def has_id(self, dewey: DeweyID) -> bool:
+        """True iff a node with this identifier exists in the document."""
+        return dewey in self._nodes_by_id
+
+    def iter_nodes(self) -> Iterator[XMLNode]:
+        """Yield every node of the document in document order."""
+        return self.root.iter_subtree()
+
+    def nodes_on_path(self, path: str) -> list[XMLNode]:
+        """All nodes whose rooted simple path equals ``path``."""
+        return [n for n in self.iter_nodes() if n.path == path]
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the document."""
+        return len(self._nodes_by_id)
+
+    def __repr__(self) -> str:
+        return f"<XMLDocument {self.name!r} root={self.root.label} size={self.size}>"

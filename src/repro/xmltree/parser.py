@@ -1,0 +1,65 @@
+"""Parsing real XML text into the repro data model.
+
+The implementation uses the standard library's :mod:`xml.etree.ElementTree`
+for tokenisation and converts the resulting element tree into
+:class:`~repro.xmltree.node.XMLNode` objects.  XML attributes are modelled as
+``@name`` children carrying the attribute value, matching the usual
+tree-pattern treatment of attributes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.errors import XMLParseError
+from repro.xmltree.node import XMLDocument, XMLNode
+
+__all__ = ["parse_xml_string", "parse_xml_file"]
+
+
+def _convert(elem: ET.Element) -> XMLNode:
+    node = XMLNode(_strip_namespace(elem.tag))
+    text = (elem.text or "").strip()
+    if text:
+        node.value = _coerce(text)
+    for attr_name, attr_value in elem.attrib.items():
+        node.append(XMLNode("@" + _strip_namespace(attr_name), value=_coerce(attr_value)))
+    for child in elem:
+        node.append(_convert(child))
+    return node
+
+
+def _strip_namespace(tag: str) -> str:
+    if "}" in tag:
+        return tag.rsplit("}", 1)[1]
+    return tag
+
+
+def _coerce(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def parse_xml_string(text: str, name: str = "doc") -> XMLDocument:
+    """Parse an XML string into an :class:`XMLDocument`."""
+    try:
+        elem = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLParseError(f"malformed XML: {exc}") from exc
+    return XMLDocument(_convert(elem), name=name)
+
+
+def parse_xml_file(path: str | Path, name: str | None = None) -> XMLDocument:
+    """Parse an XML file into an :class:`XMLDocument`."""
+    path = Path(path)
+    try:
+        elem = ET.parse(str(path)).getroot()
+    except (ET.ParseError, OSError) as exc:
+        raise XMLParseError(f"cannot parse {path}: {exc}") from exc
+    return XMLDocument(_convert(elem), name=name or path.stem)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_summary, parse_parenthesized, parse_pattern
+from repro.summary.index import SummaryIndex
+
+# --------------------------------------------------------------------------- #
+# the paper's running auction document (Figure 1, simplified)
+# --------------------------------------------------------------------------- #
+AUCTION_TEXT = (
+    'site(regions(asia('
+    'item(name="pen" '
+    '     description(parlist(listitem(text(keyword="columbus" keyword="fountain"))'
+    '                          listitem(text="steel"(bold="gold plated")))) '
+    '     mailbox(mail(from="bob@u2.com" to="jane@u2.com" date="4/6/2006" text="hello"))) '
+    'item(name="ink" description(parlist(listitem(text="invincia")))) '
+    'item(name="vase" description(text="plain") mailbox(mail(from="jim@gmail.com" to="bill@aol.com" date="3/4/2006" text="can you")))'
+    ')))'
+)
+
+
+@pytest.fixture(scope="session")
+def auction_document():
+    """A small XMark-like document mirroring Figure 1."""
+    return parse_parenthesized(AUCTION_TEXT, name="auction")
+
+
+@pytest.fixture(scope="session")
+def auction_summary(auction_document):
+    """The structural summary of the auction document."""
+    return build_summary(auction_document)
+
+
+@pytest.fixture(scope="session")
+def auction_index(auction_summary):
+    """A SummaryIndex over the auction summary."""
+    return SummaryIndex(auction_summary)
+
+
+# --------------------------------------------------------------------------- #
+# the document / summary of Figures 2 and 3
+# --------------------------------------------------------------------------- #
+FIGURE2_TEXT = 'a(b="1" c(b="2" d="3") d(b(b="5" d="6" e="7") c="4" b(d="9")))'
+
+
+@pytest.fixture(scope="session")
+def figure2_document():
+    """The sample document of Figure 2."""
+    return parse_parenthesized(FIGURE2_TEXT, name="figure2")
+
+
+@pytest.fixture(scope="session")
+def figure2_summary(figure2_document):
+    """The summary of the Figure 2 document (Figure 3)."""
+    return build_summary(figure2_document)
+
+
+# --------------------------------------------------------------------------- #
+# pattern helpers
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def make_pattern():
+    """Parse a pattern from DSL text (per-test convenience)."""
+
+    def _make(text: str, name: str = "pattern"):
+        return parse_pattern(text, name=name)
+
+    return _make

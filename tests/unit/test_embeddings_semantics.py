@@ -1,0 +1,140 @@
+"""Unit tests for embeddings and the two pattern-evaluation semantics."""
+
+from repro import parse_parenthesized, parse_pattern
+from repro.algebra.tuples import Relation
+from repro.patterns.embedding import EmbeddingMode, find_embeddings, has_embedding
+from repro.patterns.semantics import evaluate_node_tuples, evaluate_pattern, pattern_schema
+
+
+class TestEmbeddings:
+    def test_embedding_maps_root_to_root(self, figure2_document):
+        pattern = parse_pattern("a(//b[R])")
+        embeddings = find_embeddings(pattern, figure2_document.root)
+        assert embeddings
+        for embedding in embeddings:
+            assert embedding[pattern.root] is figure2_document.root
+
+    def test_child_vs_descendant_axes(self):
+        doc = parse_parenthesized("a(b(c))")
+        assert has_embedding(parse_pattern("a(//c[R])"), doc.root)
+        assert not has_embedding(parse_pattern("a(/c[R])"), doc.root)
+
+    def test_wildcard_matches_any_label(self):
+        doc = parse_parenthesized("a(x(c) y)")
+        embeddings = find_embeddings(parse_pattern("a(/*(/c[R]))"), doc.root)
+        assert len(embeddings) == 1
+
+    def test_figure2_embedding_count(self, figure2_document):
+        # p = a(//*(/b, /d)) from Figure 2/3: the * matches /a/c and /a/d/b
+        pattern = parse_pattern("a(//*[R](/b, /d))")
+        embeddings = find_embeddings(pattern, figure2_document.root)
+        star = pattern.nodes()[1]
+        images = {embedding[star].path for embedding in embeddings}
+        assert images == {"/a/c", "/a/d/b"}
+
+    def test_value_predicates_checked_on_documents(self):
+        doc = parse_parenthesized('a(b="3" b="7")')
+        pattern = parse_pattern("a(/b[R]{v>5})")
+        embeddings = find_embeddings(pattern, doc.root)
+        assert len(embeddings) == 1
+        assert embeddings[0][pattern.nodes()[1]].value == 7
+
+    def test_summary_mode_ignores_predicates(self, figure2_summary):
+        pattern = parse_pattern("a(/b[R]{v>1000})")
+        assert has_embedding(pattern, figure2_summary.root, EmbeddingMode.SUMMARY)
+
+    def test_embedding_limit(self, figure2_document):
+        pattern = parse_pattern("a(//b[R])")
+        assert len(find_embeddings(pattern, figure2_document.root, limit=2)) == 2
+
+
+class TestNodeTupleSemantics:
+    def test_conjunctive_result(self, figure2_document):
+        pattern = parse_pattern("a(//b(//e[R]))")
+        tuples = evaluate_node_tuples(pattern, figure2_document.root)
+        assert len(tuples) == 1
+        (result,) = list(tuples)
+        assert result[0].label == "e"
+
+    def test_optional_edge_produces_null(self):
+        doc = parse_parenthesized("a(c(b) c)")
+        pattern = parse_pattern("a(/c[R](/?b[R]))")
+        tuples = evaluate_node_tuples(pattern, doc.root)
+        values = {(c.label if c else None, b.label if b else None) for c, b in tuples}
+        assert ("c", "b") in values
+        assert ("c", None) in values
+
+    def test_optional_null_only_when_no_match(self):
+        # Definition 4.1(3b): a match must be used when one exists
+        doc = parse_parenthesized("a(c(b))")
+        pattern = parse_pattern("a(/c[R](/?b[R]))")
+        tuples = evaluate_node_tuples(pattern, doc.root)
+        assert all(b is not None for _, b in tuples)
+
+    def test_required_edge_fails_without_match(self):
+        doc = parse_parenthesized("a(c)")
+        pattern = parse_pattern("a(/c(/b[R]))")
+        assert evaluate_node_tuples(pattern, doc.root) == set()
+
+    def test_figure10_example(self):
+        # p1(t) = {(c1,b2),(c1,b3),(c2,None)} in the paper's Figure 10: the
+        # first c contributes both b children, the second c contributes ⊥
+        doc = parse_parenthesized("a(c(b d(e) b(f)) c(d))")
+        pattern = parse_pattern("a(/c[R](/?b[R](/?*), /?d(/e)))")
+        tuples = evaluate_node_tuples(pattern, doc.root)
+        assert len(tuples) == 3
+        assert sum(1 for _, b in tuples if b is None) == 1
+        assert sum(1 for _, b in tuples if b is not None) == 2
+
+
+class TestConcreteSemantics:
+    def test_schema_column_names(self):
+        pattern = parse_pattern("site(//item[ID](/name[V], //?~listitem(/keyword[V])))")
+        columns, _ = pattern_schema(pattern)
+        assert [c.name for c in columns] == ["ID1", "V2", "A3"]
+        assert [c.kind for c in columns] == ["ID", "V", "NESTED"]
+
+    def test_attribute_extraction(self):
+        doc = parse_parenthesized('a(b="7")')
+        pattern = parse_pattern("a(/b[ID,L,V,C])")
+        relation = evaluate_pattern(pattern, doc)
+        assert relation.column_names == ["ID1", "L1", "V1", "C1"]
+        row = relation.rows[0]
+        assert str(row[0]) == "1.1"
+        assert row[1] == "b"
+        assert row[2] == 7
+        assert row[3].label == "b"
+
+    def test_optional_attribute_is_null(self):
+        doc = parse_parenthesized('a(b="1" b="2"(c="x"))')
+        pattern = parse_pattern("a(/b[V](/?c[V]))")
+        relation = evaluate_pattern(pattern, doc)
+        values = {tuple(row) for row in relation.rows}
+        assert (1, None) in values
+        assert (2, "x") in values
+
+    def test_nested_edge_groups_matches(self, auction_document):
+        pattern = parse_pattern("site(//item[ID](/name[V], //?~listitem(//keyword[V])))")
+        relation = evaluate_pattern(pattern, auction_document)
+        assert len(relation) == 3  # one tuple per item
+        by_name = {row[1]: row[2] for row in relation.rows}
+        assert isinstance(by_name["pen"], Relation)
+        assert len(by_name["pen"]) == 2  # two keywords under the pen item
+        assert len(by_name["vase"]) == 0  # empty nested table
+
+    def test_required_nested_edge_drops_unmatched(self, auction_document):
+        pattern = parse_pattern("site(//item[ID](/~mailbox(/mail(/from[V]))))")
+        relation = evaluate_pattern(pattern, auction_document)
+        assert len(relation) == 2  # the ink item has no mailbox
+
+    def test_duplicate_elimination(self):
+        doc = parse_parenthesized('a(b(c="1") b(c="1"))')
+        pattern = parse_pattern("a(//c[V])")
+        relation = evaluate_pattern(pattern, doc)
+        assert len(relation) == 1
+
+    def test_existential_branch_filters(self, auction_document):
+        pattern = parse_pattern("site(//item[ID](/name[V], /mailbox(/mail)))")
+        relation = evaluate_pattern(pattern, auction_document)
+        names = {row[1] for row in relation.rows}
+        assert names == {"pen", "vase"}

@@ -1,0 +1,210 @@
+"""Unit tests for the XML substrate: nodes, documents, parsing, serialisation."""
+
+import pytest
+
+from repro import (
+    XMLDocument,
+    XMLNode,
+    element,
+    parse_parenthesized,
+    parse_xml_string,
+    to_parenthesized,
+    to_xml_string,
+    tree,
+)
+from repro.errors import XMLError, XMLParseError
+from repro.xmltree.generator import (
+    ChildSpec,
+    RandomDocumentSpec,
+    generate_random_document,
+    generate_uniform_tree,
+)
+
+
+class TestXMLNode:
+    def test_labels_must_be_non_empty(self):
+        with pytest.raises(XMLError):
+            XMLNode("")
+
+    def test_append_sets_parent(self):
+        parent = XMLNode("a")
+        child = parent.append_new("b", value=3)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_cannot_append_attached_node(self):
+        parent = XMLNode("a")
+        child = parent.append_new("b")
+        with pytest.raises(XMLError):
+            XMLNode("c").append(child)
+
+    def test_descendants_in_document_order(self):
+        doc = parse_parenthesized("a(b(c) d(e f))")
+        labels = [n.label for n in doc.root.iter_descendants()]
+        assert labels == ["b", "c", "d", "e", "f"]
+
+    def test_subtree_contains_self(self):
+        doc = parse_parenthesized("a(b)")
+        assert [n.label for n in doc.root.iter_subtree()] == ["a", "b"]
+
+    def test_ancestors_nearest_first(self):
+        doc = parse_parenthesized("a(b(c(d)))")
+        d = doc.root.children[0].children[0].children[0]
+        assert [n.label for n in d.iter_ancestors()] == ["c", "b", "a"]
+
+    def test_children_and_descendants_with_label(self):
+        doc = parse_parenthesized("a(b b(c(b)) d)")
+        assert len(doc.root.children_with_label("b")) == 2
+        assert len(doc.root.descendants_with_label("b")) == 3
+        assert len(doc.root.children_with_label("*")) == 3
+
+    def test_rooted_path(self):
+        doc = parse_parenthesized("a(b(c))")
+        c = doc.root.children[0].children[0]
+        assert c.rooted_path() == "/a/b/c"
+        assert c.path == "/a/b/c"
+
+    def test_text_content_concatenates_values(self):
+        doc = parse_parenthesized('a(b="x" c(d="y"))')
+        assert doc.root.text_content() == "x y"
+
+    def test_copy_is_deep_and_detached(self):
+        doc = parse_parenthesized('a(b="1"(c))')
+        clone = doc.root.copy()
+        assert clone.parent is None
+        assert clone.children[0].label == "b"
+        assert clone.children[0] is not doc.root.children[0]
+
+    def test_detach(self):
+        doc = parse_parenthesized("a(b c)")
+        b = doc.root.children[0]
+        b.detach()
+        assert b.parent is None
+        assert [c.label for c in doc.root.children] == ["c"]
+
+    def test_depth_and_subtree_size(self):
+        doc = parse_parenthesized("a(b(c) d)")
+        assert doc.root.depth == 1
+        assert doc.root.children[0].children[0].depth == 3
+        assert doc.root.subtree_size() == 4
+
+
+class TestXMLDocument:
+    def test_ids_assigned_in_document_order(self):
+        doc = parse_parenthesized("a(b(c) d)")
+        ids = [str(n.dewey) for n in doc.iter_nodes()]
+        assert ids == ["1", "1.1", "1.1.1", "1.2"]
+
+    def test_node_lookup_by_id(self):
+        doc = parse_parenthesized("a(b c)")
+        node = doc.node_by_id(doc.root.children[1].dewey)
+        assert node.label == "c"
+
+    def test_unknown_id_raises(self):
+        doc = parse_parenthesized("a(b)")
+        from repro import DeweyID
+
+        with pytest.raises(XMLError):
+            doc.node_by_id(DeweyID((1, 9)))
+
+    def test_nodes_on_path(self):
+        doc = parse_parenthesized("a(b(c) b(c c))")
+        assert len(doc.nodes_on_path("/a/b/c")) == 3
+
+    def test_root_cannot_have_parent(self):
+        parent = XMLNode("a")
+        child = parent.append_new("b")
+        with pytest.raises(XMLError):
+            XMLDocument(child)
+
+    def test_reindex_after_mutation(self):
+        doc = parse_parenthesized("a(b)")
+        doc.root.append_new("c")
+        doc.reindex()
+        assert doc.size == 3
+        assert doc.root.children[1].path == "/a/c"
+
+
+class TestBuildersAndParsers:
+    def test_element_builder(self):
+        doc = tree(element("a", element("b", value=1), element("c")))
+        assert doc.size == 3
+        assert doc.root.children[0].value == 1
+
+    def test_parenthesized_values(self):
+        doc = parse_parenthesized('a(b="text value" c=42 d=3.5)')
+        values = [c.value for c in doc.root.children]
+        assert values == ["text value", 42, 3.5]
+
+    def test_parenthesized_rejects_garbage(self):
+        with pytest.raises(XMLParseError):
+            parse_parenthesized("a(b))")
+        with pytest.raises(XMLParseError):
+            parse_parenthesized("a(b")
+
+    def test_xml_string_round_trip(self):
+        doc = parse_xml_string("<a><b x='1'>hello</b><c>2</c></a>")
+        assert doc.root.label == "a"
+        b = doc.root.children[0]
+        assert b.value == "hello"
+        assert b.children[0].label == "@x"
+        assert doc.root.children[1].value == 2
+        # serialising and re-parsing preserves structure
+        again = parse_xml_string(to_xml_string(doc))
+        assert to_parenthesized(again) == to_parenthesized(doc)
+
+    def test_xml_parse_error(self):
+        with pytest.raises(XMLParseError):
+            parse_xml_string("<a><b></a>")
+
+    def test_to_parenthesized(self):
+        doc = parse_parenthesized('a(b="1" c(d))')
+        assert to_parenthesized(doc) == 'a(b="1" c(d))'
+
+
+class TestGenerators:
+    def test_spec_generator_is_reproducible(self):
+        spec = RandomDocumentSpec(
+            root="r",
+            children={"r": [ChildSpec("a", 1, 3)], "a": [ChildSpec("b", 0, 2)]},
+            values={"b": [1, 2, 3]},
+        )
+        one = generate_random_document(spec, seed=5)
+        two = generate_random_document(spec, seed=5)
+        assert to_parenthesized(one) == to_parenthesized(two)
+
+    def test_spec_generator_respects_max_depth(self):
+        spec = RandomDocumentSpec(
+            root="r",
+            children={"r": [ChildSpec("r", 1, 1)]},
+            values={},
+            max_depth=3,
+            max_recursion=10,
+        )
+        doc = generate_random_document(spec, seed=1)
+        assert max(node.depth for node in doc.iter_nodes()) <= 3
+
+    def test_spec_generator_respects_recursion_limit(self):
+        spec = RandomDocumentSpec(
+            root="r",
+            children={"r": [ChildSpec("x", 1, 1)], "x": [ChildSpec("x", 1, 1)]},
+            values={},
+            max_depth=20,
+            max_recursion=2,
+        )
+        doc = generate_random_document(spec, seed=1)
+        # the recursive label appears at most twice on any root-to-leaf path
+        deepest = max(doc.iter_nodes(), key=lambda n: n.depth)
+        labels_on_path = [deepest.label] + [a.label for a in deepest.iter_ancestors()]
+        assert labels_on_path.count("x") <= 2
+
+    def test_uniform_tree_root_label_is_first(self):
+        doc = generate_uniform_tree(["a", "b", "c"], seed=2)
+        assert doc.root.label == "a"
+
+    def test_unknown_root_label_raises(self):
+        from repro.errors import WorkloadError
+
+        spec = RandomDocumentSpec(root="missing", children={}, values={})
+        with pytest.raises(WorkloadError):
+            generate_random_document(spec)
