@@ -1,4 +1,13 @@
-"""Shared fixtures for the benchmark harness (one benchmark per paper artefact)."""
+"""Shared fixtures for the benchmark harness (one benchmark per paper artefact).
+
+Everything under benchmarks/ belongs to tier-2: the collection hook below
+stamps the ``bench`` and ``slow`` markers on every item (belt and braces on
+top of the per-file ``pytestmark``), and the tier-1 configuration in
+pyproject.toml (``testpaths = ["tests"]`` plus ``-m 'not bench and not
+slow'``) keeps them out of a bare ``pytest -x -q``.  Run them explicitly::
+
+    pytest benchmarks -m bench
+"""
 
 from __future__ import annotations
 
@@ -7,6 +16,12 @@ import pytest
 from repro import build_summary
 from repro.workloads.dblp import generate_dblp_document
 from repro.workloads.xmark import generate_xmark_document, xmark_query_patterns
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

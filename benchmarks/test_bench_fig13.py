@@ -5,7 +5,6 @@
 """
 
 import pytest
-
 from repro.canonical import canonical_model
 from repro.containment.core import containment_decision
 from repro.experiments.fig13 import (
@@ -13,6 +12,8 @@ from repro.experiments.fig13 import (
     run_fig13_query_containment,
     run_fig13_synthetic_containment,
 )
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 @pytest.mark.benchmark(group="fig13-queries")

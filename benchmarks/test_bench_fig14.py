@@ -2,9 +2,10 @@
 optional-edge ablation (0% vs 50% optional edges)."""
 
 import pytest
-
 from repro.experiments.fig13 import run_fig13_synthetic_containment
 from repro.experiments.fig14 import print_fig14, run_fig14
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 @pytest.mark.benchmark(group="fig14")

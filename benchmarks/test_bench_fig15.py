@@ -3,9 +3,10 @@ seed + random view set (setup time, time to first rewriting, total time,
 view-pruning ratio)."""
 
 import pytest
-
 from repro.experiments.fig15 import fig15_views, print_fig15, run_fig15
 from repro.rewriting.algorithm import RewritingConfig, RewritingSearch
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 @pytest.mark.benchmark(group="fig15")

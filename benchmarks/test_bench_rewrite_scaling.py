@@ -1,0 +1,112 @@
+"""Scaling benchmark: naive per-query rewriting vs. the catalog + memo path.
+
+A 50-view / 200-query synthetic workload (20 distinct query templates, each
+repeated 10 times, shuffled) is rewritten twice:
+
+* **naive** — one :class:`RewritingSearch` per query with ``use_catalog=False``
+  and the containment memo bypassed: every query re-builds the summary index,
+  re-copies and re-annotates every view, and re-decides every containment
+  question from scratch (the seed behaviour);
+* **catalog + memo** — :meth:`Rewriter.rewrite_many` over a shared
+  :class:`ViewCatalog` with the containment memo on.
+
+The two paths must produce identical rewritings, and the catalog path must
+be at least 3x faster.  One BENCH JSON point is emitted on stdout (prefixed
+``BENCH_JSON:``) and written to ``bench-results/rewrite_scaling.json`` so CI
+can upload it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import time
+
+import pytest
+
+from repro import build_summary
+from repro.containment.core import (
+    clear_containment_cache,
+    containment_cache,
+    containment_cache_disabled,
+)
+from repro.rewriting.algorithm import RewritingConfig
+from repro.rewriting.rewriter import Rewriter
+from repro.views.view import MaterializedView
+from repro.workloads.synthetic import batch_rewriting_workload
+from repro.workloads.xmark import generate_xmark_document
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+_ALIAS = re.compile(r"[@#]\d+")
+
+
+def _fingerprint(outcome) -> list[tuple]:
+    """Alias-insensitive identity of an outcome's rewritings."""
+    return [
+        (tuple(r.views_used), r.is_union, _ALIAS.sub("@N", r.plan.describe()))
+        for r in outcome.rewritings
+    ]
+
+
+@pytest.mark.benchmark(group="rewrite-scaling")
+def test_rewrite_scaling_catalog_vs_naive():
+    summary = build_summary(
+        generate_xmark_document(scale=1.0, seed=548, name="xmark-scaling")
+    )
+    view_patterns, queries = batch_rewriting_workload(
+        summary, view_count=50, distinct_queries=20, repeat=10
+    )
+    views = [
+        MaterializedView(pattern, name=f"v{index}_{pattern.name}")
+        for index, pattern in enumerate(view_patterns)
+    ]
+    config = RewritingConfig(
+        max_rewritings=1,
+        stop_at_first=True,
+        max_plan_size=4,
+        enable_unions=False,
+        time_budget_seconds=30.0,
+    )
+
+    naive = Rewriter(summary, views, config, use_catalog=False)
+    clear_containment_cache()
+    with containment_cache_disabled():
+        start = time.perf_counter()
+        naive_outcomes = [naive.rewrite(query) for query in queries]
+        naive_seconds = time.perf_counter() - start
+
+    fast = Rewriter(summary, views, config, use_catalog=True)
+    clear_containment_cache()
+    start = time.perf_counter()
+    fast_outcomes = fast.rewrite_many(queries)
+    fast_seconds = time.perf_counter() - start
+    cache_info = containment_cache().info()
+
+    assert [_fingerprint(o) for o in naive_outcomes] == [
+        _fingerprint(o) for o in fast_outcomes
+    ], "catalog + memo path must produce identical rewritings"
+
+    rewritten = sum(1 for outcome in fast_outcomes if outcome.found)
+    speedup = naive_seconds / fast_seconds if fast_seconds else float("inf")
+    point = {
+        "bench": "rewrite_scaling",
+        "views": len(views),
+        "queries": len(queries),
+        "distinct_queries": 20,
+        "queries_rewritten": rewritten,
+        "naive_seconds": round(naive_seconds, 4),
+        "catalog_seconds": round(fast_seconds, 4),
+        "speedup": round(speedup, 2),
+        "containment_cache": cache_info,
+    }
+    print(f"\nBENCH_JSON: {json.dumps(point)}")
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "bench-results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "rewrite_scaling.json").write_text(json.dumps(point, indent=2))
+
+    assert speedup >= 3.0, (
+        f"catalog + memo path only {speedup:.2f}x faster than the naive loop "
+        f"({naive_seconds:.2f}s vs {fast_seconds:.2f}s)"
+    )

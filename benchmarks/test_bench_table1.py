@@ -6,9 +6,10 @@ Table 1 statistics for every corpus.
 """
 
 import pytest
-
 from repro import build_summary, summarize
 from repro.experiments.table1 import TABLE1_DOCUMENTS, print_table1, run_table1
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 @pytest.mark.benchmark(group="table1")

@@ -1,4 +1,9 @@
-"""Setuptools shim for environments that cannot run PEP 660 editable builds."""
+"""Setuptools shim; all metadata lives in pyproject.toml (src-layout).
+
+Kept so environments that cannot run PEP 660 editable builds can still do
+``python setup.py develop``-era installs; ``pip install -e .`` reads
+pyproject.toml directly.
+"""
 
 from setuptools import setup
 

@@ -20,6 +20,16 @@ Typical usage::
     query = parse_pattern("site(//item[ID,V](/name))")
     rewriter = Rewriter(summary, [view])
     result = rewriter.rewrite(query)
+
+Workloads should prefer the batch API: ``rewrite_many`` shares the
+:class:`~repro.views.ViewCatalog` (summary index, per-view annotated
+candidate prototypes, the Prop. 3.4 inverted path index) across all queries,
+and repeated containment questions become hits in a process-wide memo —
+with plan-for-plan identical results::
+
+    queries = [parse_pattern(text) for text in workload_texts]
+    outcomes = rewriter.rewrite_many(queries)
+    best_plans = [outcome.best.plan for outcome in outcomes if outcome.found]
 """
 
 from repro.errors import (
@@ -61,12 +71,18 @@ from repro.patterns import (
     xquery_to_pattern,
 )
 from repro.canonical import annotate_paths, canonical_model, is_satisfiable
-from repro.containment import are_equivalent, is_contained, is_contained_in_union
+from repro.containment import (
+    are_equivalent,
+    clear_containment_cache,
+    containment_cache,
+    is_contained,
+    is_contained_in_union,
+)
 from repro.algebra import Relation
-from repro.views import MaterializedView, ViewSet
+from repro.views import MaterializedView, ViewCatalog, ViewSet
 from repro.rewriting import Rewriter, Rewriting
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors
@@ -116,9 +132,12 @@ __all__ = [
     "is_contained",
     "is_contained_in_union",
     "are_equivalent",
+    "containment_cache",
+    "clear_containment_cache",
     # algebra / views / rewriting
     "Relation",
     "MaterializedView",
+    "ViewCatalog",
     "ViewSet",
     "Rewriter",
     "Rewriting",

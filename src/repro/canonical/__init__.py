@@ -17,6 +17,7 @@ nesting-sequence conditions of Proposition 4.2 in :mod:`repro.containment`.
 """
 
 from repro.canonical.trees import CanonicalNode, CanonicalTree
+from repro.canonical.hashing import pattern_key, summary_token
 from repro.canonical.model import (
     annotate_paths,
     associated_paths,
@@ -31,4 +32,6 @@ __all__ = [
     "associated_paths",
     "canonical_model",
     "is_satisfiable",
+    "pattern_key",
+    "summary_token",
 ]

@@ -37,9 +37,11 @@ the nesting-sequence conditions of Proposition 4.2 in
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Iterator, Optional
 
 from repro.canonical.trees import CanonicalNode, CanonicalTree
+from repro.errors import ContainmentBudgetExceeded
 from repro.patterns.embedding import EmbeddingMode, iter_embeddings
 from repro.patterns.pattern import Axis, PatternNode, TreePattern
 from repro.patterns.semantics import evaluate_node_tuples
@@ -240,8 +242,17 @@ def iter_canonical_model(
     pattern: TreePattern,
     summary: Summary,
     use_strong_closure: bool = True,
+    deadline: Optional[float] = None,
 ) -> Iterator[CanonicalTree]:
-    """Lazily enumerate ``modS(p)`` (see :func:`canonical_model`)."""
+    """Lazily enumerate ``modS(p)`` (see :func:`canonical_model`).
+
+    ``deadline`` is an absolute :func:`time.perf_counter` instant; the
+    enumeration raises :class:`~repro.errors.ContainmentBudgetExceeded` when
+    it crosses it.  The check sits on the erased-variant loop because a
+    pattern with ``k`` optional edges has up to ``2^k`` variants, each of
+    which may be filtered without ever yielding a tree — a consumer-side
+    check alone could never fire.
+    """
     original_nodes = pattern.nodes()
     return_positions = [
         original_nodes.index(node) for node in pattern.return_nodes()
@@ -251,8 +262,13 @@ def iter_canonical_model(
     ]
 
     seen: set[tuple] = set()
+    embeddings_since_check = 0
     for erased_size in range(len(optional_positions) + 1):
         for erased_tops in itertools.combinations(optional_positions, erased_size):
+            if deadline is not None and time.perf_counter() > deadline:
+                raise ContainmentBudgetExceeded(
+                    "canonical-model enumeration aborted: time budget exhausted"
+                )
             variant, position_map = _erased_variant(pattern, erased_tops)
             variant_by_position = {
                 position_map[id(node)]: node for node in variant.nodes()
@@ -260,6 +276,20 @@ def iter_canonical_model(
             for embedding in iter_embeddings(
                 variant, summary.root, EmbeddingMode.SUMMARY
             ):
+                # a single variant can enumerate up to |S|^|p| embeddings all
+                # filtered without yielding, so the deadline must also be
+                # polled inside this loop (cheaply, every 64 embeddings)
+                embeddings_since_check += 1
+                if (
+                    deadline is not None
+                    and embeddings_since_check >= 64
+                ):
+                    embeddings_since_check = 0
+                    if time.perf_counter() > deadline:
+                        raise ContainmentBudgetExceeded(
+                            "canonical-model enumeration aborted: "
+                            "time budget exhausted"
+                        )
                 root, node_map = _build_tree(variant.root, embedding)
                 if use_strong_closure:
                     _apply_strong_closure(root)

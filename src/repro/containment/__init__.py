@@ -11,17 +11,29 @@ The public entry points are
 All tests work uniformly for conjunctive, decorated, optional, attribute and
 nested patterns; the relevant extra conditions are applied automatically
 based on the features the patterns actually use.
+
+Decisions are memoised in a process-wide LRU keyed by the canonical pattern
+hashes of :mod:`repro.canonical.hashing`; see :func:`containment_cache` and
+:func:`clear_containment_cache`.
 """
 
 from repro.containment.core import (
+    ContainmentCache,
     ContainmentDecision,
     are_equivalent,
+    clear_containment_cache,
+    containment_cache,
+    containment_cache_disabled,
     is_contained,
     is_contained_in_union,
 )
 
 __all__ = [
+    "ContainmentCache",
     "ContainmentDecision",
+    "clear_containment_cache",
+    "containment_cache",
+    "containment_cache_disabled",
     "is_contained",
     "is_contained_in_union",
     "are_equivalent",

@@ -12,25 +12,159 @@ union containment.
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.canonical.hashing import pattern_key, summary_token
 from repro.canonical.model import iter_canonical_model
 from repro.canonical.trees import CanonicalTree
 from repro.containment.formulas import implies_disjunction, tree_formula
 from repro.containment.nesting import nesting_depths, nesting_sequences_compatible
-from repro.errors import ContainmentError
+from repro.errors import ContainmentBudgetExceeded, ContainmentError
 from repro.patterns.embedding import EmbeddingMode
 from repro.patterns.pattern import TreePattern
 from repro.patterns.semantics import evaluate_node_tuples
 from repro.summary.dataguide import Summary
 
 __all__ = [
+    "ContainmentCache",
     "ContainmentDecision",
+    "clear_containment_cache",
+    "containment_cache",
+    "containment_cache_disabled",
     "is_contained",
     "is_contained_in_union",
     "are_equivalent",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# memoisation
+# --------------------------------------------------------------------------- #
+class ContainmentCache:
+    """A bounded LRU memo for containment decisions.
+
+    Containment is a pure function of (contained pattern, container pattern,
+    summary), so decisions are cached under the canonical keys of
+    :mod:`repro.canonical.hashing`.  Across a batch-rewriting workload the
+    same (view pattern, query pattern) questions recur constantly — repeated
+    queries, shared views, identical join shapes — and each hit saves a full
+    canonical-model enumeration.
+    """
+
+    def __init__(self, maxsize: int = 65536):
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[tuple, object] = OrderedDict()
+
+    def lookup(self, key: tuple):
+        """Return the cached value for ``key`` or None, updating recency."""
+        if not self.enabled:
+            return None
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def store(self, key: tuple, value) -> None:
+        """Insert a value, evicting the least recently used entries."""
+        if not self.enabled:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit / miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def info(self) -> dict:
+        """Hit / miss / size statistics (for benchmarks and reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ContainmentCache {self.info()}>"
+
+
+_CACHE = ContainmentCache()
+
+
+def containment_cache() -> ContainmentCache:
+    """The process-wide containment memo."""
+    return _CACHE
+
+
+def clear_containment_cache() -> None:
+    """Reset the process-wide containment memo (stats included)."""
+    _CACHE.clear()
+
+
+@contextmanager
+def containment_cache_disabled():
+    """Temporarily bypass the containment memo (reads and writes).
+
+    Used by benchmarks that need an honest un-memoised baseline."""
+    previous = _CACHE.enabled
+    _CACHE.enabled = False
+    try:
+        yield
+    finally:
+        _CACHE.enabled = previous
+
+
+# --------------------------------------------------------------------------- #
+# deadlines
+# --------------------------------------------------------------------------- #
+_deadline: Optional[float] = None
+
+
+@contextmanager
+def containment_deadline(deadline: Optional[float]):
+    """Arm a wall-clock deadline (``time.perf_counter()`` value) for every
+    containment test run inside the block.
+
+    A test whose canonical-model enumeration crosses the deadline raises
+    :class:`ContainmentBudgetExceeded` instead of running to completion
+    (patterns with many optional edges have exponentially many canonical
+    trees, so an uninterruptible test would defeat any search time budget).
+    Aborted tests are not memoised.  Nested deadlines keep the tighter one.
+    """
+    global _deadline
+    previous = _deadline
+    if deadline is not None and previous is not None:
+        deadline = min(deadline, previous)
+    _deadline = deadline if deadline is not None else previous
+    try:
+        yield
+    finally:
+        _deadline = previous
+
+
+def _check_deadline() -> None:
+    if _deadline is not None and time.perf_counter() > _deadline:
+        raise ContainmentBudgetExceeded(
+            "containment test aborted: caller's time budget exhausted"
+        )
 
 
 @dataclass
@@ -91,7 +225,39 @@ def containment_decision(
     check_attributes: bool = True,
     max_trees: Optional[int] = None,
 ) -> ContainmentDecision:
-    """Full containment test ``contained ⊆S container`` with statistics."""
+    """Full containment test ``contained ⊆S container`` with statistics.
+
+    Decisions are memoised in the process-wide :class:`ContainmentCache`
+    (except when ``max_trees`` caps the enumeration, because a capped test
+    may abort with :class:`ContainmentError` instead of deciding).
+    """
+    cache_key: Optional[tuple] = None
+    if max_trees is None:
+        cache_key = (
+            "single",
+            pattern_key(contained),
+            pattern_key(container),
+            summary_token(summary),
+            check_attributes,
+        )
+        cached = _CACHE.lookup(cache_key)
+        if cached is not None:
+            return cached
+    decision = _containment_decision_uncached(
+        contained, container, summary, check_attributes, max_trees
+    )
+    if cache_key is not None:
+        _CACHE.store(cache_key, decision)
+    return decision
+
+
+def _containment_decision_uncached(
+    contained: TreePattern,
+    container: TreePattern,
+    summary: Summary,
+    check_attributes: bool,
+    max_trees: Optional[int],
+) -> ContainmentDecision:
     failure = _structural_preconditions(
         contained, container, summary, check_attributes
     )
@@ -99,8 +265,9 @@ def containment_decision(
         return ContainmentDecision(False, failure)
 
     checked = 0
-    for tree in iter_canonical_model(contained, summary):
+    for tree in iter_canonical_model(contained, summary, deadline=_deadline):
         checked += 1
+        _check_deadline()
         if max_trees is not None and checked > max_trees:
             raise ContainmentError(
                 f"canonical model of {contained.name!r} exceeds {max_trees} trees"
@@ -149,7 +316,32 @@ def is_contained_in_union(
 
     When value predicates are present, the value-coverage condition of
     Section 4.2 is verified on top of the structural membership condition.
+    Results are memoised like single containment decisions; the union pass
+    of the rewriting search re-asks the same subset questions constantly.
     """
+    cache_key = (
+        "union",
+        pattern_key(contained),
+        tuple(pattern_key(container) for container in containers),
+        summary_token(summary),
+        check_attributes,
+    )
+    cached = _CACHE.lookup(cache_key)
+    if cached is not None:
+        return cached
+    result = _is_contained_in_union_uncached(
+        contained, containers, summary, check_attributes
+    )
+    _CACHE.store(cache_key, result)
+    return result
+
+
+def _is_contained_in_union_uncached(
+    contained: TreePattern,
+    containers: Sequence[TreePattern],
+    summary: Summary,
+    check_attributes: bool = True,
+) -> bool:
     if not containers:
         return not _has_canonical_tree(contained, summary)
 
@@ -172,17 +364,21 @@ def is_contained_in_union(
     stripped = [_strip_predicates(container) for container in eligible]
     container_models: Optional[list[list[CanonicalTree]]] = None
 
-    for tree in iter_canonical_model(contained, summary):
+    for tree in iter_canonical_model(contained, summary, deadline=_deadline):
+        _check_deadline()
         left_tuples = evaluate_node_tuples(
             contained, tree.root, EmbeddingMode.DECORATED
         )
+        # each container's tuples depend only on (container, tree) — compute
+        # them once per tree, not once per left tuple
+        container_tuples = [
+            evaluate_node_tuples(container, tree.root, EmbeddingMode.DECORATED)
+            for container in stripped
+        ] if left_tuples else []
         matching_indexes: set[int] = set()
         for tuple_ in left_tuples:
             found = False
-            for index, container in enumerate(stripped):
-                right_tuples = evaluate_node_tuples(
-                    container, tree.root, EmbeddingMode.DECORATED
-                )
+            for index, right_tuples in enumerate(container_tuples):
                 if tuple_ in right_tuples:
                     matching_indexes.add(index)
                     found = True
@@ -196,7 +392,7 @@ def is_contained_in_union(
         # containers' canonical trees with the same return paths.
         if container_models is None:
             container_models = [
-                list(iter_canonical_model(container, summary))
+                list(iter_canonical_model(container, summary, deadline=_deadline))
                 for container in eligible
             ]
         same_return = []
@@ -212,7 +408,7 @@ def is_contained_in_union(
 
 
 def _has_canonical_tree(pattern: TreePattern, summary: Summary) -> bool:
-    for _ in iter_canonical_model(pattern, summary):
+    for _ in iter_canonical_model(pattern, summary, deadline=_deadline):
         return True
     return False
 

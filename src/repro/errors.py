@@ -43,6 +43,17 @@ class ContainmentError(ReproError):
     """Raised when a containment test is asked on incompatible patterns."""
 
 
+class ContainmentBudgetExceeded(ContainmentError):
+    """Raised when a containment test overruns its caller's time deadline.
+
+    A single test over a pattern with many optional edges can enumerate an
+    exponential canonical model (2^|optional| erased variants), so callers
+    with wall-clock budgets — the rewriting search above all — arm a
+    deadline (:func:`repro.containment.core.containment_deadline`) that
+    aborts the enumeration instead of hanging.  Aborted tests are never
+    memoised."""
+
+
 class AlgebraError(ReproError):
     """Problems constructing or executing algebraic plans."""
 

@@ -23,7 +23,7 @@ possible — never the reverse.
 from __future__ import annotations
 
 import re
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.errors import PredicateError
 

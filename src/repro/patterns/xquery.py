@@ -37,7 +37,6 @@ from typing import Optional
 
 from repro.errors import PatternParseError
 from repro.patterns.pattern import Axis, PatternNode, TreePattern
-from repro.patterns.predicates import ValueFormula
 from repro.patterns.xpath import _FORMULA_BUILDERS, _parse_constant
 
 __all__ = ["xquery_to_pattern"]

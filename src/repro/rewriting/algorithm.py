@@ -23,12 +23,13 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.algebra.operators import PlanOperator, UnionPlan
 from repro.canonical.model import annotate_paths
-from repro.containment.core import is_contained_in_union
+from repro.containment.core import containment_deadline, is_contained_in_union
+from repro.errors import ContainmentBudgetExceeded
 from repro.patterns.pattern import Axis, PatternNode, TreePattern
 from repro.rewriting.alignment import AlignmentResult, align_candidate
 from repro.rewriting.candidates import RewriteCandidate, initial_candidate
@@ -113,7 +114,16 @@ class Rewriting:
 
 
 class RewritingSearch:
-    """One run of Algorithm 1 for a fixed query, summary and view set."""
+    """One run of Algorithm 1 for a fixed query, summary and view set.
+
+    When a :class:`~repro.views.catalog.ViewCatalog` over the same summary
+    and views is supplied, setup takes the catalog fast path: the summary
+    index is shared, Prop. 3.4 candidate views come from the catalog's
+    inverted path index, and initial candidates are cloned from the
+    catalog's pre-annotated prototypes instead of being re-annotated from
+    scratch.  The search results are identical either way — the catalog
+    prunes exactly the views ``view_is_useful`` would reject.
+    """
 
     def __init__(
         self,
@@ -121,11 +131,13 @@ class RewritingSearch:
         summary: Summary,
         views: list[MaterializedView],
         config: Optional[RewritingConfig] = None,
+        catalog=None,
     ):
         self.query = query.copy(name=query.name)
         self.summary = summary
-        self.index = SummaryIndex(summary)
-        self.views = list(views)
+        self.catalog = catalog
+        self.index = catalog.index if catalog is not None else SummaryIndex(summary)
+        self.views = list(catalog.views) if catalog is not None else list(views)
         self.config = config or RewritingConfig()
         self.statistics = RewritingStatistics()
         self.rewritings: list[Rewriting] = []
@@ -139,25 +151,34 @@ class RewritingSearch:
     def run(self) -> list[Rewriting]:
         """Run the search and return every rewriting found."""
         self._start_time = time.perf_counter()
-        initial = self._setup()
-        self.statistics.setup_seconds = time.perf_counter() - self._start_time
+        budget = self.config.time_budget_seconds
+        deadline = self._start_time + budget if budget is not None else None
+        # the deadline makes individual containment tests interruptible: a
+        # single test over a join pattern with many optional edges can
+        # otherwise enumerate 2^k canonical variants and outlive any
+        # between-candidates budget check by hours
+        with containment_deadline(deadline):
+            initial = self._setup()
+            self.statistics.setup_seconds = time.perf_counter() - self._start_time
 
-        if not self._attributes_feasible(initial):
-            # no combination of views can supply some required output
-            # attribute on a compatible path; Prop. 3.7 rules out every plan
-            self.statistics.total_seconds = time.perf_counter() - self._start_time
-            return self.rewritings
+            if not self._attributes_feasible(initial):
+                # no combination of views can supply some required output
+                # attribute on a compatible path; Prop. 3.7 rules out every plan
+                self.statistics.total_seconds = (
+                    time.perf_counter() - self._start_time
+                )
+                return self.rewritings
 
-        working = list(initial)
-        for candidate in initial:
-            self._consider(candidate)
-            if self._done():
-                break
+            working = list(initial)
+            for candidate in initial:
+                self._consider(candidate)
+                if self._done():
+                    break
 
-        if not self._done():
-            self._join_loop(working, initial)
-        if self.config.enable_unions and not self._done():
-            self._union_pass()
+            if not self._done():
+                self._join_loop(working, initial)
+            if self.config.enable_unions and not self._done():
+                self._union_pass()
 
         self.statistics.total_seconds = time.perf_counter() - self._start_time
         self.statistics.rewritings_found = len(self.rewritings)
@@ -171,14 +192,21 @@ class RewritingSearch:
         targets = query_path_targets(self.query)
         self.statistics.views_before_pruning = len(self.views)
         initial: list[RewriteCandidate] = []
-        for view in self.views:
-            candidate = initial_candidate(view)
-            annotate_paths(candidate.pattern, self.summary)
-            if not view_is_useful(candidate.pattern, self.query, self.index):
-                continue
+        for view, candidate in self._pruned_initial_candidates():
             if self.config.enable_content_unfolding:
-                candidate = unfold_content(candidate, targets, self.index)
-                annotate_paths(candidate.pattern, self.summary)
+                # capture both before the call: unfold_content mutates the
+                # pattern in place (only the candidate wrapper is fresh)
+                size_before = candidate.pattern.size
+                lazy_before = candidate.lazy
+                unfolded = unfold_content(candidate, targets, self.index)
+                if (
+                    unfolded.pattern.size != size_before
+                    or unfolded.lazy != lazy_before
+                ):
+                    # unfolding touched the pattern (new chains or retargeted
+                    # tips); recompute the path annotations it invalidated
+                    annotate_paths(unfolded.pattern, self.summary)
+                candidate = unfolded
             if self.config.enable_virtual_ids:
                 candidate = add_virtual_ids(
                     candidate, self.index, view.id_scheme.derives_parent
@@ -186,6 +214,22 @@ class RewritingSearch:
             initial.append(candidate)
         self.statistics.views_after_pruning = len(initial)
         return initial
+
+    def _pruned_initial_candidates(self):
+        """Yield (view, annotated candidate) pairs surviving Prop. 3.4.
+
+        The catalog fast path clones pre-annotated prototypes for exactly
+        the views its inverted path index keeps; the fallback re-derives and
+        re-annotates every view from scratch and filters per pair."""
+        if self.catalog is not None:
+            yield from self.catalog.initial_candidates(self.query)
+            return
+        for view in self.views:
+            candidate = initial_candidate(view)
+            annotate_paths(candidate.pattern, self.summary)
+            if not view_is_useful(candidate.pattern, self.query, self.index):
+                continue
+            yield view, candidate
 
     def _attributes_feasible(self, initial: list[RewriteCandidate]) -> bool:
         """Quick necessary condition: every query return node must have, in
@@ -412,16 +456,20 @@ class RewritingSearch:
         """Try to align a candidate with the query; record successes."""
         if self._out_of_time():
             return
-        result = align_candidate(candidate, self.query, self.summary)
-        if result is not None:
-            self._record(result, candidate, is_union=False)
+        try:
+            result = align_candidate(candidate, self.query, self.summary)
+            if result is not None:
+                self._record(result, candidate, is_union=False)
+                return
+            if self.config.enable_unions and len(self._partial) < 64:
+                partial = align_candidate(
+                    candidate, self.query, self.summary, containment_only=True
+                )
+                if partial is not None:
+                    self._partial.append((candidate, partial))
+        except ContainmentBudgetExceeded:
+            # the budget ran out mid-test; _done() ends the search next check
             return
-        if self.config.enable_unions and len(self._partial) < 64:
-            partial = align_candidate(
-                candidate, self.query, self.summary, containment_only=True
-            )
-            if partial is not None:
-                self._partial.append((candidate, partial))
 
     def _record(
         self, result: AlignmentResult, candidate: RewriteCandidate, is_union: bool
@@ -443,6 +491,12 @@ class RewritingSearch:
     # union plans (Algorithm 1, lines 13-14)
     # ------------------------------------------------------------------ #
     def _union_pass(self) -> None:
+        try:
+            self._union_pass_inner()
+        except ContainmentBudgetExceeded:
+            return
+
+    def _union_pass_inner(self) -> None:
         if len(self._partial) < 2:
             return
         for size in range(2, self.config.max_union_size + 1):

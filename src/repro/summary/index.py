@@ -18,18 +18,35 @@ __all__ = ["SummaryIndex"]
 
 
 class SummaryIndex:
-    """Ancestor / descendant / depth index over a summary's node numbers."""
+    """Ancestor / descendant / depth / label index over a summary's node numbers."""
 
     def __init__(self, summary: Summary):
         self.summary = summary
         self._ancestors: dict[int, frozenset[int]] = {}
         self._parent: dict[int, Optional[int]] = {}
         self._depth: dict[int, int] = {}
+        self._by_label: dict[str, set[int]] = {}
+        # the transitive descendants map is worst-case quadratic in |S|;
+        # only the ViewCatalog needs it, so it is built on first use rather
+        # than taxing every per-query SummaryIndex of the naive path
+        self._descendants: Optional[dict[int, frozenset[int]]] = None
         for node in summary.iter_nodes():
             ancestors = frozenset(a.number for a in node.iter_ancestors())
             self._ancestors[node.number] = ancestors
             self._parent[node.number] = node.parent.number if node.parent else None
             self._depth[node.number] = node.depth
+            self._by_label.setdefault(node.label, set()).add(node.number)
+
+    def _descendants_map(self) -> dict[int, frozenset[int]]:
+        if self._descendants is None:
+            below: dict[int, set[int]] = {number: set() for number in self._ancestors}
+            for number, ancestors in self._ancestors.items():
+                for ancestor in ancestors:
+                    below[ancestor].add(number)
+            self._descendants = {
+                number: frozenset(nodes) for number, nodes in below.items()
+            }
+        return self._descendants
 
     # ------------------------------------------------------------------ #
     def node(self, number: int) -> SummaryNode:
@@ -43,6 +60,29 @@ class SummaryIndex:
     def parent(self, number: int) -> Optional[int]:
         """Number of the parent summary node, or None for the root."""
         return self._parent[number]
+
+    def ancestors(self, number: int) -> frozenset[int]:
+        """Numbers of all strict ancestors of the summary node."""
+        return self._ancestors[number]
+
+    def descendants(self, number: int) -> frozenset[int]:
+        """Numbers of all strict descendants of the summary node."""
+        return self._descendants_map()[number]
+
+    def numbers_with_label(self, label: str) -> frozenset[int]:
+        """Numbers of all summary nodes carrying ``label`` (empty if none).
+
+        The label→nodes map lets catalog and rewriting code resolve a
+        pattern-node label to candidate summary nodes without scanning the
+        whole summary (``'*'`` matches every node)."""
+        if label == "*":
+            return frozenset(self._ancestors)
+        return frozenset(self._by_label.get(label, ()))
+
+    @property
+    def labels(self) -> frozenset[str]:
+        """All labels occurring in the summary."""
+        return frozenset(self._by_label)
 
     def is_ancestor(self, ancestor: int, descendant: int) -> bool:
         """True iff ``ancestor`` is a strict ancestor of ``descendant``."""

@@ -7,9 +7,15 @@ comparability and parent derivability, Section 1 / Section 4.6).
 
 A :class:`ViewSet` is a named collection of views; it doubles as the view
 store handed to the plan executor.
+
+A :class:`ViewCatalog` adds the query-independent indexes (root label,
+summary-node hit sets, offered attributes) that let the rewriting search
+generate candidates without scanning and re-annotating the whole view set
+per query.
 """
 
 from repro.views.view import IdScheme, MaterializedView
 from repro.views.store import ViewSet
+from repro.views.catalog import ViewCatalog
 
-__all__ = ["IdScheme", "MaterializedView", "ViewSet"]
+__all__ = ["IdScheme", "MaterializedView", "ViewCatalog", "ViewSet"]

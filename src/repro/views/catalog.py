@@ -1,0 +1,217 @@
+"""An indexed catalog of materialised views for workload-scale rewriting.
+
+The seed rewriting search treats the view set as an opaque list: for every
+query it re-copies every view pattern, re-computes its associated summary
+paths (an ``O(|p| * |S|^2)`` dynamic program) and only then applies the
+Prop. 3.4 usefulness test.  Over a workload of hundreds of queries against
+hundreds of views, that per-pair work dominates everything else.
+
+A :class:`ViewCatalog` does the query-independent part of that work exactly
+once per view and indexes the results three ways:
+
+* **root label** — views grouped by their pattern's root label
+  (:meth:`views_with_root_label`),
+* **summary-node hit sets** — an inverted index from every summary node
+  number to the views with a path-related (equal / ancestor / descendant)
+  non-root node; a lookup over the query's target paths yields precisely the
+  views Proposition 3.4 would keep, without touching the others
+  (:meth:`candidate_positions`),
+* **offered attributes** — which views can supply a given attribute on a
+  given summary path, counting both materialised and lazily derivable
+  columns (:meth:`views_with_attribute`).
+
+For every surviving view, :meth:`initial_candidates` hands the search a
+fresh :class:`~repro.rewriting.candidates.RewriteCandidate` cloned from a
+pre-annotated prototype, so no per-query path annotation is needed for the
+views themselves.  The query-*dependent* pre-processing (targeted C-attribute
+unfolding and the attribute-feasibility check of Prop. 3.7) intentionally
+stays in the search: it depends on the query's paths and cannot be hoisted
+into the catalog without changing results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.canonical.model import annotate_paths
+from repro.patterns.pattern import TreePattern
+from repro.rewriting.candidates import RewriteCandidate, initial_candidate
+from repro.rewriting.fusion import copy_with_map
+from repro.summary.dataguide import Summary
+from repro.summary.index import SummaryIndex
+from repro.views.view import MaterializedView
+
+__all__ = ["ViewCatalog"]
+
+
+class _ViewEntry:
+    """One catalogued view: its pre-annotated prototype candidate and keys."""
+
+    __slots__ = ("view", "candidate", "hits", "related_hits", "attributes_by_path")
+
+    def __init__(
+        self, view: MaterializedView, candidate: RewriteCandidate, index: SummaryIndex
+    ):
+        self.view = view
+        self.candidate = candidate
+        hits: set[int] = set()
+        attributes_by_path: dict[int, set[str]] = {}
+        for node in candidate.pattern.nodes():
+            paths = node.annotated_paths or frozenset()
+            if not paths:
+                continue
+            if node.parent is not None:
+                hits |= paths
+            available = candidate.available_attributes(node)
+            if available:
+                for number in paths:
+                    attributes_by_path.setdefault(number, set()).update(available)
+        related: set[int] = set(hits)
+        for number in hits:
+            related |= index.ancestors(number)
+            related |= index.descendants(number)
+        self.hits = frozenset(hits)
+        self.related_hits = frozenset(related)
+        self.attributes_by_path = {
+            number: frozenset(attrs) for number, attrs in attributes_by_path.items()
+        }
+
+    def instantiate(self) -> RewriteCandidate:
+        """A fresh candidate clone the search may annotate and transform."""
+        pattern, mapping = copy_with_map(self.candidate.pattern)
+        explicit_order = self.candidate.pattern._return_order
+        if explicit_order is not None:
+            # copy_with_map drops the explicit return order; restore it so
+            # catalog clones match what TreePattern.copy (the naive path)
+            # produces — return order changes result column order
+            pattern.set_return_order(
+                [mapping[id(node)] for node in explicit_order]
+            )
+        columns = {
+            (id(mapping[node_id]), attribute): column
+            for (node_id, attribute), column in self.candidate.columns.items()
+        }
+        lazy = {
+            (id(mapping[node_id]), attribute): spec
+            for (node_id, attribute), spec in self.candidate.lazy.items()
+        }
+        return RewriteCandidate(
+            plan=self.candidate.plan,
+            pattern=pattern,
+            columns=columns,
+            lazy=lazy,
+            views_used=self.candidate.views_used,
+            unnested_columns=self.candidate.unnested_columns,
+        )
+
+
+class ViewCatalog:
+    """Query-independent indexes over a fixed view set and summary.
+
+    Parameters
+    ----------
+    summary:
+        The structural summary the views and queries are interpreted under.
+    views:
+        The available views (any iterable of :class:`MaterializedView`).
+    index:
+        An optional pre-built :class:`SummaryIndex` to share; one is built
+        from ``summary`` when omitted.
+    """
+
+    def __init__(
+        self,
+        summary: Summary,
+        views: Iterable[MaterializedView],
+        index: Optional[SummaryIndex] = None,
+    ):
+        self.summary = summary
+        self.index = index or SummaryIndex(summary)
+        self.views: list[MaterializedView] = list(views)
+        self._entries: list[_ViewEntry] = []
+        self._by_related_path: dict[int, list[int]] = {}
+        self._by_root_label: dict[str, list[int]] = {}
+        self._by_name: dict[str, int] = {}
+        self._by_path_attribute: dict[tuple[int, str], list[int]] = {}
+        for position, view in enumerate(self.views):
+            candidate = initial_candidate(view)
+            annotate_paths(candidate.pattern, summary)
+            entry = _ViewEntry(view, candidate, self.index)
+            self._entries.append(entry)
+            self._by_root_label.setdefault(view.pattern.root.label, []).append(position)
+            self._by_name.setdefault(view.name, position)
+            for number in entry.related_hits:
+                self._by_related_path.setdefault(number, []).append(position)
+            for number, attributes in entry.attributes_by_path.items():
+                for attribute in attributes:
+                    self._by_path_attribute.setdefault(
+                        (number, attribute), []
+                    ).append(position)
+
+    # ------------------------------------------------------------------ #
+    # indexed lookups
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.views)
+
+    def views_with_root_label(self, label: str) -> list[MaterializedView]:
+        """Views whose pattern root carries ``label``."""
+        return [self.views[position] for position in self._by_root_label.get(label, [])]
+
+    def views_with_attribute(self, number: int, attribute: str) -> list[MaterializedView]:
+        """Views offering ``attribute`` (materialised or derivable) on summary
+        node ``number`` — before any query-directed content unfolding."""
+        return [
+            self.views[position]
+            for position in self._by_path_attribute.get((number, attribute), ())
+        ]
+
+    def hit_set(self, view_name: str) -> frozenset[int]:
+        """Summary numbers associated with the view's non-root nodes."""
+        try:
+            return self._entries[self._by_name[view_name]].hits
+        except KeyError:
+            raise KeyError(f"unknown view {view_name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # candidate generation
+    # ------------------------------------------------------------------ #
+    def candidate_positions(self, query: TreePattern) -> list[int]:
+        """Positions of the views Prop. 3.4 keeps for ``query``.
+
+        ``query`` must already be annotated with its associated paths.  The
+        result is exactly the set the seed per-view ``view_is_useful`` scan
+        computes — a single-node query keeps every view, and otherwise a view
+        survives iff one of its non-root paths is equal to, an ancestor of,
+        or a descendant of one of the query's non-root paths — but it is
+        found through the inverted index in ``O(|query paths|)`` instead of
+        ``O(|views| * |pairs|)``.
+        """
+        if len(query.nodes()) == 1:
+            return list(range(len(self.views)))
+        targets: set[int] = set()
+        for node in query.nodes():
+            if node.parent is not None and node.annotated_paths:
+                targets |= node.annotated_paths
+        positions: set[int] = set()
+        for number in targets:
+            positions.update(self._by_related_path.get(number, ()))
+        return sorted(positions)
+
+    def candidate_views(self, query: TreePattern) -> list[MaterializedView]:
+        """The views kept for ``query``, in catalog order."""
+        return [self.views[position] for position in self.candidate_positions(query)]
+
+    def initial_candidates(
+        self, query: TreePattern
+    ) -> Iterator[tuple[MaterializedView, RewriteCandidate]]:
+        """Fresh, pre-annotated initial candidates for the surviving views."""
+        for position in self.candidate_positions(query):
+            entry = self._entries[position]
+            yield entry.view, entry.instantiate()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ViewCatalog views={len(self.views)} "
+            f"indexed_paths={len(self._by_related_path)}>"
+        )

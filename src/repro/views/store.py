@@ -21,20 +21,32 @@ class ViewSet:
 
     def __init__(self, views: Iterable[MaterializedView] = ()):
         self._views: dict[str, MaterializedView] = {}
+        self._version = 0
         for view in views:
             self.add(view)
 
     # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every add / remove.
+
+        Consumers holding derived state over the set — above all the
+        :class:`~repro.views.catalog.ViewCatalog` cached by ``Rewriter`` —
+        compare versions to detect that their state is stale."""
+        return self._version
+
     def add(self, view: MaterializedView) -> MaterializedView:
         """Add a view; names must be unique within the set."""
         if view.name in self._views:
             raise ReproError(f"a view named {view.name!r} already exists")
         self._views[view.name] = view
+        self._version += 1
         return view
 
     def remove(self, name: str) -> None:
         """Remove a view by name."""
-        self._views.pop(name, None)
+        if self._views.pop(name, None) is not None:
+            self._version += 1
 
     def materialize_all(self, document: XMLDocument) -> None:
         """Materialise every view in the set over ``document``."""

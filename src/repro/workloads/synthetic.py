@@ -26,6 +26,7 @@ from repro.summary.node import SummaryNode
 
 __all__ = [
     "SyntheticPatternConfig",
+    "batch_rewriting_workload",
     "generate_random_pattern",
     "generate_random_views",
     "seed_tag_views",
@@ -67,16 +68,20 @@ def generate_random_pattern(
     grown: list[tuple[PatternNode, SummaryNode]] = [(root, root_summary)]
 
     while len(grown) < config.size:
-        parent, parent_summary = rng.choice(
-            [entry for entry in grown if len(entry[0].children) < config.fanout]
-            or grown
-        )
+        # only nodes whose summary image has descendants can grow a child;
+        # choosing among others could loop forever (e.g. when every node
+        # under the fan-out bound maps to a summary leaf)
+        eligible = [
+            entry
+            for entry in grown
+            if len(entry[0].children) < config.fanout and entry[1].children
+        ]
+        if not eligible:
+            eligible = [entry for entry in grown if entry[1].children]
+        if not eligible:
+            break
+        parent, parent_summary = rng.choice(eligible)
         candidates = list(parent_summary.iter_descendants())
-        if not candidates:
-            # pick a different parent next round; guard against degenerate summaries
-            if all(not s.children for _, s in grown):
-                break
-            continue
         target = rng.choice(candidates)
         use_descendant = rng.random() < config.descendant_probability
         if not use_descendant and target.parent is not parent_summary:
@@ -153,6 +158,56 @@ def generate_random_views(
             pattern.nodes()[-1].attributes = ("ID", "V")
         views.append(pattern)
     return views
+
+
+def batch_rewriting_workload(
+    summary: Summary,
+    view_count: int = 50,
+    distinct_queries: int = 20,
+    repeat: int = 10,
+    answerable_fraction: float = 0.7,
+    seed: int = 11,
+) -> tuple[list[TreePattern], list[TreePattern]]:
+    """A (view patterns, query stream) pair for batch-rewriting experiments.
+
+    The view set mixes the Figure 15 seed 2-node views with random 3-node
+    views, truncated / topped up to exactly ``view_count``.  The query
+    stream contains ``distinct_queries`` templates, each repeated ``repeat``
+    times and deterministically shuffled — the shape of a real workload,
+    where a bounded set of query templates recurs across requests (this is
+    what the containment memo and the catalog amortise).  An
+    ``answerable_fraction`` of the templates are copies of catalogued view
+    patterns (guaranteed single-view rewritings, the common case for a view
+    set chosen to serve the workload); the rest are random 3-node patterns
+    that may need joins or have no rewriting at all.
+    """
+    rng = random.Random(seed)
+    views: list[TreePattern] = list(seed_tag_views(summary))[:view_count]
+    if len(views) < view_count:
+        views += generate_random_views(
+            summary, count=view_count - len(views), seed=seed
+        )
+    templates: list[TreePattern] = []
+    answerable = int(round(distinct_queries * answerable_fraction))
+    for index in range(answerable):
+        source = rng.choice(views)
+        templates.append(source.copy(name=f"wq{index}"))
+    for index in range(answerable, distinct_queries):
+        config = SyntheticPatternConfig(
+            size=3,
+            optional_probability=0.0,
+            predicate_probability=0.0,
+            wildcard_probability=0.0,
+            descendant_probability=0.5,
+            return_count=1,
+            store_attributes=("ID", "V"),
+        )
+        templates.append(
+            generate_random_pattern(summary, config, rng=rng, name=f"wq{index}")
+        )
+    queries = [template for template in templates for _ in range(repeat)]
+    rng.shuffle(queries)
+    return views, queries
 
 
 def seed_tag_views(summary: Summary, attributes: Sequence[str] = ("ID", "V")) -> list[TreePattern]:

@@ -2,10 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro import build_summary, parse_parenthesized, parse_pattern
 from repro.summary.index import SummaryIndex
+
+# --------------------------------------------------------------------------- #
+# hypothesis profiles
+#
+# The default profile derandomises example generation: the property tests
+# draw random patterns whose canonical models are worst-case exponential, so
+# an unlucky seed can turn a 2-second suite into a multi-minute one.  With
+# ``derandomize=True`` every run replays the same (fast, pre-vetted) example
+# sequence, which is what a <2-minute tier-1 needs.  Run the randomized
+# exploration explicitly with ``HYPOTHESIS_PROFILE=thorough`` (nightly CI).
+# --------------------------------------------------------------------------- #
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("thorough", derandomize=False, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 # --------------------------------------------------------------------------- #
 # the paper's running auction document (Figure 1, simplified)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import DeweyID, MaterializedView, ValueFormula, parse_parenthesized, parse_pattern
+from repro import MaterializedView, ValueFormula, parse_parenthesized, parse_pattern
 from repro.algebra.execution import PlanExecutor
 from repro.algebra.operators import (
     ContentNavigation,
@@ -18,7 +18,7 @@ from repro.algebra.operators import (
     Unnest,
     ViewScan,
 )
-from repro.algebra.tuples import Column, Relation
+from repro.algebra.tuples import Relation
 from repro.errors import AlgebraError, PlanExecutionError
 from repro.patterns.pattern import Axis
 from repro.views.store import ViewSet

@@ -1,6 +1,6 @@
 """Unit tests for summary-based canonical models (Section 2.4, 4.1-4.3)."""
 
-from repro import build_summary, parse_parenthesized, parse_pattern, summary_from_paths
+from repro import parse_pattern, summary_from_paths
 from repro.canonical import annotate_paths, canonical_model, is_satisfiable
 from repro.canonical.model import associated_paths
 

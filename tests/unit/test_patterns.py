@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Axis, PatternNode, TreePattern, ValueFormula, parse_pattern
+from repro import Axis, PatternNode, TreePattern, parse_pattern
 from repro.errors import PatternError, PatternParseError
 from repro.patterns.xpath import xpath_to_pattern
 from repro.patterns.xquery import xquery_to_pattern
