@@ -1,0 +1,139 @@
+"""Parallel scaling benchmark: 1-worker vs N-worker ``rewrite_many``.
+
+A 50-view / 200-query workload (same generator as the catalog-vs-naive
+scaling benchmark, but with all 200 queries *distinct* — with the 20
+repeated templates of that benchmark the containment memo collapses the
+sequential run to a fraction of a second and there is nothing left to
+parallelise) is rewritten twice through ``Rewriter.rewrite_many``:
+
+* **1 worker** — the sequential catalog + memo path (the PR 1 fast path);
+* **N workers** — the :class:`~repro.rewriting.batch.BatchEngine` process
+  pool, sharing the catalog through its persisted snapshot and merging the
+  workers' containment memos back into the parent.
+
+Both runs must produce plan-for-plan identical rewritings, compared with
+alias-insensitive fingerprints (scan aliases come from per-process
+counters).  That assertion is unconditional: the per-search wall-clock
+budget (30 s) exceeds the observed per-query search time by more than two
+orders of magnitude, so budget-truncation divergence between the modes
+(the one documented caveat of the parallel path) cannot realistically
+trigger here.  The wall-clock assertion — ≥ 4 workers must beat one
+worker by at least 2x — only runs where it is physically possible, i.e. on
+hosts with at least 4 CPU cores; single- and dual-core hosts still execute
+the full benchmark and emit the JSON point (with the core count recorded)
+so CI trend lines stay comparable across runner shapes.
+
+One BENCH JSON point is printed (``BENCH_JSON:`` prefix) and written to
+``bench-results/rewrite_parallel.json`` for the CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import time
+
+import pytest
+
+from repro import build_summary
+from repro.containment.core import clear_containment_cache, containment_cache
+from repro.rewriting.algorithm import RewritingConfig
+from repro.rewriting.rewriter import Rewriter
+from repro.views.view import MaterializedView
+from repro.workloads.synthetic import batch_rewriting_workload
+from repro.workloads.xmark import generate_xmark_document
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+_ALIAS = re.compile(r"[@#]\d+")
+
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+
+
+def _fingerprint(outcome) -> list[tuple]:
+    """Alias-insensitive identity of an outcome's rewritings."""
+    return [
+        (tuple(r.views_used), r.is_union, _ALIAS.sub("@N", r.plan.describe()))
+        for r in outcome.rewritings
+    ]
+
+
+@pytest.mark.benchmark(group="rewrite-parallel")
+def test_rewrite_parallel_vs_single_worker():
+    summary = build_summary(
+        generate_xmark_document(scale=1.0, seed=548, name="xmark-parallel")
+    )
+    view_patterns, queries = batch_rewriting_workload(
+        summary, view_count=50, distinct_queries=200, repeat=1
+    )
+    views = [
+        MaterializedView(pattern, name=f"v{index}_{pattern.name}")
+        for index, pattern in enumerate(view_patterns)
+    ]
+    config = RewritingConfig(
+        max_rewritings=1,
+        stop_at_first=True,
+        max_plan_size=4,
+        enable_unions=False,
+        time_budget_seconds=30.0,
+    )
+    rewriter = Rewriter(summary, views, config, use_catalog=True)
+
+    clear_containment_cache()
+    start = time.perf_counter()
+    serial_outcomes = rewriter.rewrite_many(queries, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    clear_containment_cache()
+    start = time.perf_counter()
+    parallel_outcomes = rewriter.rewrite_many(queries, workers=WORKERS)
+    parallel_seconds = time.perf_counter() - start
+    merged_cache = containment_cache().info()
+
+    assert [_fingerprint(o) for o in serial_outcomes] == [
+        _fingerprint(o) for o in parallel_outcomes
+    ], "parallel rewrite_many must produce plan-for-plan identical rewritings"
+
+    cores = os.cpu_count() or 1
+    rewritten = sum(1 for outcome in parallel_outcomes if outcome.found)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    point = {
+        "bench": "rewrite_parallel",
+        "views": len(views),
+        "queries": len(queries),
+        "distinct_queries": 200,
+        "workers": WORKERS,
+        "cpu_cores": cores,
+        "queries_rewritten": rewritten,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 2),
+        "merged_containment_entries": merged_cache["size"],
+    }
+    print(f"\nBENCH_JSON: {json.dumps(point)}")
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "bench-results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "rewrite_parallel.json").write_text(json.dumps(point, indent=2))
+
+    # os.cpu_count() reports *logical* CPUs: a 4-vCPU runner may be 2
+    # physical cores with SMT, where 4 CPU-bound workers top out well below
+    # 2x — and contended shared runners make even softer floors flaky.  The
+    # wall-clock assertion therefore only arms with clear physical headroom
+    # (>= 2x WORKERS logical CPUs); every run still records the measured
+    # speedup in the JSON point for trend monitoring, and the plan-identity
+    # assertion above is unconditional.
+    if cores >= 2 * WORKERS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"{WORKERS}-worker rewrite_many only {speedup:.2f}x faster than one "
+            f"worker on a {cores}-logical-CPU host "
+            f"({serial_seconds:.2f}s vs {parallel_seconds:.2f}s)"
+        )
+    else:
+        print(
+            f"NOTE: host has {cores} logical CPU(s); the >= {MIN_SPEEDUP}x "
+            f"wall-clock assertion arms at >= {2 * WORKERS} and was skipped "
+            f"(identity was asserted; speedup recorded: {speedup:.2f}x)"
+        )

@@ -25,11 +25,17 @@ Workloads should prefer the batch API: ``rewrite_many`` shares the
 :class:`~repro.views.ViewCatalog` (summary index, per-view annotated
 candidate prototypes, the Prop. 3.4 inverted path index) across all queries,
 and repeated containment questions become hits in a process-wide memo —
-with plan-for-plan identical results::
+with plan-for-plan identical results.  Pass ``workers=N`` to shard the
+workload over a process pool (one shared catalog snapshot, merged memos,
+identical plans).  Execution goes through the cost-based planner: every
+rewriting lowers to a costed :class:`~repro.planning.LogicalPlan` and the
+cheapest one runs::
 
     queries = [parse_pattern(text) for text in workload_texts]
-    outcomes = rewriter.rewrite_many(queries)
-    best_plans = [outcome.best.plan for outcome in outcomes if outcome.found]
+    outcomes = rewriter.rewrite_many(queries, workers=4)
+    planner = Planner(rewriter)
+    best = planner.best_plan(queries[0])     # minimum-cost alternative
+    answer = planner.execute(best)
 """
 
 from repro.errors import (
@@ -58,7 +64,14 @@ from repro.xmltree import (
     to_xml_string,
     tree,
 )
-from repro.summary import Summary, SummaryStatistics, build_summary, summarize, summary_from_paths
+from repro.summary import (
+    Statistics,
+    Summary,
+    SummaryStatistics,
+    build_summary,
+    summarize,
+    summary_from_paths,
+)
 from repro.patterns import (
     Axis,
     PatternNode,
@@ -80,9 +93,10 @@ from repro.containment import (
 )
 from repro.algebra import Relation
 from repro.views import MaterializedView, ViewCatalog, ViewSet
-from repro.rewriting import Rewriter, Rewriting
+from repro.rewriting import BatchEngine, Rewriter, Rewriting
+from repro.planning import CostModel, LogicalPlan, PlanChoice, PlannedRewriting, Planner
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # errors
@@ -139,7 +153,15 @@ __all__ = [
     "MaterializedView",
     "ViewCatalog",
     "ViewSet",
+    "BatchEngine",
     "Rewriter",
     "Rewriting",
+    # planning
+    "Statistics",
+    "CostModel",
+    "LogicalPlan",
+    "PlanChoice",
+    "PlannedRewriting",
+    "Planner",
     "__version__",
 ]

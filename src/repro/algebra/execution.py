@@ -39,14 +39,35 @@ __all__ = ["PlanExecutor"]
 
 
 class PlanExecutor:
-    """Evaluate logical plans against a store of materialised views."""
+    """Evaluate logical plans against a store of materialised views.
+
+    Plans produced by the rewriting search are DAGs, not strict trees: the
+    search shares sub-plans between candidates (``ensure_column`` wraps a
+    shared plan rather than copying it), so e.g. both inputs of a self-join
+    may be the very same ``ViewScan`` object.  The executor memoises results
+    per operator *object* for its own lifetime, so shared sub-plans are
+    evaluated once — which is also what the planner's DAG cost model
+    charges.  Operators never mutate their inputs (every operator builds a
+    fresh output relation), so sharing results is safe; create a fresh
+    executor after re-materialising views.
+    """
 
     def __init__(self, views: Mapping[str, object]):
         self._views = views
+        # id() -> (operator, result); the operator reference keeps the id alive
+        self._memo: dict[int, tuple[PlanOperator, Relation]] = {}
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanOperator) -> Relation:
         """Evaluate ``plan`` and return its result relation."""
+        cached = self._memo.get(id(plan))
+        if cached is not None:
+            return cached[1]
+        result = self._execute(plan)
+        self._memo[id(plan)] = (plan, result)
+        return result
+
+    def _execute(self, plan: PlanOperator) -> Relation:
         if isinstance(plan, ViewScan):
             return self._execute_scan(plan)
         if isinstance(plan, IdEqualityJoin):

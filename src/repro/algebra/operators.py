@@ -49,11 +49,35 @@ __all__ = [
 
 @dataclass
 class PlanOperator:
-    """Base class for all logical operators."""
+    """Base class for all logical operators.
+
+    Besides describing themselves, operators expose one *cardinality hook*:
+    :meth:`estimate_rows` combines the estimated row counts of the children
+    into an estimate for the operator's own output, asking a *context*
+    object for every statistic that depends on the database rather than on
+    the plan shape.  The context (see
+    :class:`repro.planning.cost.CostModel`, the canonical implementation)
+    must provide::
+
+        view_rows(view_name) -> float            # extent size of a view
+        equality_join_rows(left, right) -> float # |l ⋈= r| from |l|, |r|
+        structural_join_rows(left, right, axis) -> float
+        selection_selectivity(formula) -> float  # fraction kept by σ
+        navigation_matches(steps) -> float       # matches per row of nav
+        unnest_fanout() -> float                 # rows per nested group
+        group_reduction() -> float               # input rows per group
+
+    Keeping the hook on the operator and the statistics behind the context
+    lets the algebra stay free of any dependency on summaries or planning.
+    """
 
     def children(self) -> list["PlanOperator"]:
         """Child operators (empty for leaves)."""
         return []
+
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        """Estimated output rows given the children's estimated rows."""
+        return child_rows[0] if child_rows else 1.0
 
     def view_scan_count(self) -> int:
         """Number of view scans in the plan (the plan *size* of Prop. 3.6)."""
@@ -93,6 +117,9 @@ class ViewScan(PlanOperator):
     def view_scan_count(self) -> int:
         return 1
 
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        return context.view_rows(self.view_name)
+
     def _describe_self(self) -> str:
         alias = f" as {self.alias}" if self.alias else ""
         return f"ViewScan({self.view_name}{alias})"
@@ -110,6 +137,9 @@ class IdEqualityJoin(PlanOperator):
     def children(self) -> list[PlanOperator]:
         return [self.left, self.right]
 
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        return context.equality_join_rows(child_rows[0], child_rows[1])
+
     def _describe_self(self) -> str:
         return f"IdEqualityJoin({self.left_column} = {self.right_column})"
 
@@ -126,6 +156,9 @@ class StructuralJoin(PlanOperator):
 
     def children(self) -> list[PlanOperator]:
         return [self.left, self.right]
+
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        return context.structural_join_rows(child_rows[0], child_rows[1], self.axis)
 
     def _describe_self(self) -> str:
         symbol = "≺" if self.axis is Axis.CHILD else "≺≺"
@@ -152,6 +185,11 @@ class NestedStructuralJoin(PlanOperator):
 
     def children(self) -> list[PlanOperator]:
         return [self.left, self.right]
+
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        # one output row per left row (unmatched rows kept with an empty
+        # group by default; dropping them only shrinks the estimate)
+        return child_rows[0]
 
     def _describe_self(self) -> str:
         symbol = "≺" if self.axis is Axis.CHILD else "≺≺"
@@ -213,6 +251,9 @@ class Selection(PlanOperator):
     def children(self) -> list[PlanOperator]:
         return [self.child]
 
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        return child_rows[0] * context.selection_selectivity(self.formula)
+
     def _describe_self(self) -> str:
         return f"Selection({self.column}: {self.formula.to_text()})"
 
@@ -227,6 +268,9 @@ class Unnest(PlanOperator):
 
     def children(self) -> list[PlanOperator]:
         return [self.child]
+
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        return child_rows[0] * context.unnest_fanout()
 
     def _describe_self(self) -> str:
         return f"Unnest({self.nested_column})"
@@ -243,6 +287,9 @@ class GroupBy(PlanOperator):
 
     def children(self) -> list[PlanOperator]:
         return [self.child]
+
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        return max(child_rows[0] / context.group_reduction(), 1.0)
 
     def _describe_self(self) -> str:
         return (
@@ -271,6 +318,12 @@ class ContentNavigation(PlanOperator):
 
     def children(self) -> list[PlanOperator]:
         return [self.child]
+
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        matches = context.navigation_matches(self.steps)
+        if self.optional:
+            matches = max(matches, 1.0)
+        return child_rows[0] * matches
 
     def _describe_self(self) -> str:
         path = "".join(f"{axis.value}{label}" for axis, label in self.steps)
@@ -307,6 +360,9 @@ class UnionPlan(PlanOperator):
 
     def children(self) -> list[PlanOperator]:
         return list(self.plans)
+
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        return sum(child_rows) if child_rows else 1.0
 
     def _describe_self(self) -> str:
         return f"UnionPlan({len(self.plans)} branches)"

@@ -1,0 +1,70 @@
+"""A small bounded LRU used by the memo layers.
+
+Both process-wide memos — containment *decisions*
+(:class:`repro.containment.core.ContainmentCache`) and complete *canonical
+models* (:class:`repro.canonical.model.CanonicalModelCache`) — share the
+same mechanics: hashable canonical keys, least-recently-used eviction, an
+``enabled`` switch for honest-measurement baselines, and hit/miss counters
+for benchmark reporting.  They differ only in what is stored and when
+storing is allowed, so the mechanics live here once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["BoundedLruCache"]
+
+
+class BoundedLruCache:
+    """Bounded LRU with an enable switch and hit / miss statistics."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def lookup(self, key):
+        """Return the cached value for ``key`` or None, updating recency."""
+        if not self.enabled:
+            return None
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def store(self, key, value) -> None:
+        """Insert a value, evicting the least recently used entries."""
+        if not self.enabled:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit / miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def info(self) -> dict:
+        """Hit / miss / size statistics (for benchmarks and reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.info()}>"

@@ -19,9 +19,12 @@ nesting-sequence conditions of Proposition 4.2 in :mod:`repro.containment`.
 from repro.canonical.trees import CanonicalNode, CanonicalTree
 from repro.canonical.hashing import pattern_key, summary_token
 from repro.canonical.model import (
+    CanonicalModelCache,
     annotate_paths,
     associated_paths,
     canonical_model,
+    canonical_model_cache,
+    clear_canonical_model_cache,
     is_satisfiable,
 )
 
@@ -31,6 +34,9 @@ __all__ = [
     "annotate_paths",
     "associated_paths",
     "canonical_model",
+    "CanonicalModelCache",
+    "canonical_model_cache",
+    "clear_canonical_model_cache",
     "is_satisfiable",
     "pattern_key",
     "summary_token",

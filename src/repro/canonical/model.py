@@ -40,6 +40,8 @@ import itertools
 import time
 from typing import Iterator, Optional
 
+from repro.caching import BoundedLruCache
+from repro.canonical.hashing import pattern_key, summary_token
 from repro.canonical.trees import CanonicalNode, CanonicalTree
 from repro.errors import ContainmentBudgetExceeded
 from repro.patterns.embedding import EmbeddingMode, iter_embeddings
@@ -52,8 +54,55 @@ __all__ = [
     "associated_paths",
     "annotate_paths",
     "canonical_model",
+    "CanonicalModelCache",
+    "canonical_model_cache",
+    "clear_canonical_model_cache",
     "is_satisfiable",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# canonical-model memoisation
+# --------------------------------------------------------------------------- #
+class CanonicalModelCache(BoundedLruCache):
+    """A bounded LRU memo for *complete* canonical models.
+
+    ``modS(p)`` is a pure function of the pattern structure and the summary,
+    keyed here by the same canonical pattern hash the containment-decision
+    memo uses (:func:`repro.canonical.hashing.pattern_key`).  A rewriting
+    search enumerates the model of the same query / view / join patterns
+    over and over — every equivalence test enumerates the contained side in
+    full — so replaying a stored model saves the whole erased-variant ×
+    embedding enumeration.
+
+    The same non-caching rules as the decision memo apply: an enumeration
+    that aborts on a deadline, is abandoned by its consumer, or overflows
+    ``max_trees_cached`` is never stored (only *complete* models are
+    replayed; a capped or aborted one is not the model).
+    """
+
+    def __init__(self, maxsize: int = 512, max_trees_cached: int = 256):
+        super().__init__(maxsize)
+        self.max_trees_cached = max_trees_cached
+
+    def store(self, key: tuple, trees: tuple[CanonicalTree, ...]) -> None:
+        """Insert a complete model, unless it overflows the per-entry cap."""
+        if len(trees) > self.max_trees_cached:
+            return
+        super().store(key, trees)
+
+
+_MODEL_CACHE = CanonicalModelCache()
+
+
+def canonical_model_cache() -> CanonicalModelCache:
+    """The process-wide canonical-model memo."""
+    return _MODEL_CACHE
+
+
+def clear_canonical_model_cache() -> None:
+    """Reset the process-wide canonical-model memo (stats included)."""
+    _MODEL_CACHE.clear()
 
 
 # --------------------------------------------------------------------------- #
@@ -252,7 +301,43 @@ def iter_canonical_model(
     pattern with ``k`` optional edges has up to ``2^k`` variants, each of
     which may be filtered without ever yielding a tree — a consumer-side
     check alone could never fire.
+
+    Complete enumerations are memoised in the process-wide
+    :class:`CanonicalModelCache` and replayed on repetition; enumerations
+    cut short by the deadline, abandoned mid-way, or larger than the cache's
+    per-entry cap are computed but never stored.
     """
+    cache = _MODEL_CACHE
+    if not cache.enabled:
+        yield from _iter_canonical_model_uncached(
+            pattern, summary, use_strong_closure, deadline
+        )
+        return
+    key = (pattern_key(pattern), summary_token(summary), use_strong_closure)
+    cached = cache.lookup(key)
+    if cached is not None:
+        yield from cached
+        return
+    buffer: Optional[list[CanonicalTree]] = []
+    for tree in _iter_canonical_model_uncached(
+        pattern, summary, use_strong_closure, deadline
+    ):
+        if buffer is not None:
+            buffer.append(tree)
+            if len(buffer) > cache.max_trees_cached:
+                buffer = None  # too large to replay; stop buffering
+        yield tree
+    # reached only when the enumeration ran to genuine completion
+    if buffer is not None:
+        cache.store(key, tuple(buffer))
+
+
+def _iter_canonical_model_uncached(
+    pattern: TreePattern,
+    summary: Summary,
+    use_strong_closure: bool = True,
+    deadline: Optional[float] = None,
+) -> Iterator[CanonicalTree]:
     original_nodes = pattern.nodes()
     return_positions = [
         original_nodes.index(node) for node in pattern.return_nodes()

@@ -24,6 +24,8 @@ from repro.containment.core import (
     clear_containment_cache,
     containment_cache,
     containment_cache_disabled,
+    export_containment_delta,
+    merge_containment_delta,
     is_contained,
     is_contained_in_union,
 )
@@ -34,6 +36,8 @@ __all__ = [
     "clear_containment_cache",
     "containment_cache",
     "containment_cache_disabled",
+    "export_containment_delta",
+    "merge_containment_delta",
     "is_contained",
     "is_contained_in_union",
     "are_equivalent",

@@ -13,13 +13,13 @@ union containment.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.caching import BoundedLruCache
 from repro.canonical.hashing import pattern_key, summary_token
-from repro.canonical.model import iter_canonical_model
+from repro.canonical.model import canonical_model_cache, iter_canonical_model
 from repro.canonical.trees import CanonicalTree
 from repro.containment.formulas import implies_disjunction, tree_formula
 from repro.containment.nesting import nesting_depths, nesting_sequences_compatible
@@ -35,6 +35,8 @@ __all__ = [
     "clear_containment_cache",
     "containment_cache",
     "containment_cache_disabled",
+    "export_containment_delta",
+    "merge_containment_delta",
     "is_contained",
     "is_contained_in_union",
     "are_equivalent",
@@ -44,7 +46,7 @@ __all__ = [
 # --------------------------------------------------------------------------- #
 # memoisation
 # --------------------------------------------------------------------------- #
-class ContainmentCache:
+class ContainmentCache(BoundedLruCache):
     """A bounded LRU memo for containment decisions.
 
     Containment is a pure function of (contained pattern, container pattern,
@@ -56,54 +58,7 @@ class ContainmentCache:
     """
 
     def __init__(self, maxsize: int = 65536):
-        self.maxsize = maxsize
-        self.enabled = True
-        self.hits = 0
-        self.misses = 0
-        self._data: OrderedDict[tuple, object] = OrderedDict()
-
-    def lookup(self, key: tuple):
-        """Return the cached value for ``key`` or None, updating recency."""
-        if not self.enabled:
-            return None
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
-
-    def store(self, key: tuple, value) -> None:
-        """Insert a value, evicting the least recently used entries."""
-        if not self.enabled:
-            return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-
-    def clear(self) -> None:
-        """Drop every entry and reset the hit / miss counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def info(self) -> dict:
-        """Hit / miss / size statistics (for benchmarks and reports)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<ContainmentCache {self.info()}>"
+        super().__init__(maxsize)
 
 
 _CACHE = ContainmentCache()
@@ -115,21 +70,88 @@ def containment_cache() -> ContainmentCache:
 
 
 def clear_containment_cache() -> None:
-    """Reset the process-wide containment memo (stats included)."""
+    """Reset the containment memo *and* the canonical-model memo.
+
+    The two caches answer the same underlying question at different
+    granularities, so every honest-measurement caller (figures, benchmark
+    baselines) wants both gone at once."""
     _CACHE.clear()
+    canonical_model_cache().clear()
 
 
 @contextmanager
 def containment_cache_disabled():
-    """Temporarily bypass the containment memo (reads and writes).
+    """Temporarily bypass both memo layers (reads and writes).
 
-    Used by benchmarks that need an honest un-memoised baseline."""
+    Used by benchmarks that need an honest un-memoised baseline; the
+    canonical-model memo is switched off alongside the decision memo
+    because a warm model cache would make "un-memoised" containment times
+    meaningless."""
+    model_cache = canonical_model_cache()
     previous = _CACHE.enabled
+    previous_model = model_cache.enabled
     _CACHE.enabled = False
+    model_cache.enabled = False
     try:
         yield
     finally:
         _CACHE.enabled = previous
+        model_cache.enabled = previous_model
+
+
+# --------------------------------------------------------------------------- #
+# memo keys and cross-process merging
+# --------------------------------------------------------------------------- #
+# Every containment cache key is built by _cache_key and nothing else, so
+# the token slot used by the delta export/merge below cannot drift away
+# from the key shape: change the layout here and _TOKEN_POSITION with it.
+_TOKEN_POSITION = 3
+
+
+def _cache_key(kind: str, left, right, token, check_attributes: bool) -> tuple:
+    """The canonical memo key layout for both "single" and "union" entries."""
+    return (kind, left, right, token, check_attributes)
+
+
+def _replace_token(key: tuple, token) -> tuple:
+    """Swap the summary-token slot of a key built by :func:`_cache_key`."""
+    return key[:_TOKEN_POSITION] + (token,) + key[_TOKEN_POSITION + 1 :]
+
+
+def export_containment_delta(summary: "Summary") -> list[tuple[tuple, object]]:
+    """Export this process's decisions about ``summary`` in portable form.
+
+    Summary tokens are process-local identity, so they are blanked out of
+    every key; :func:`merge_containment_delta` re-binds the entries to the
+    receiving process's token for the same summary.  This is how parallel
+    batch-rewriting workers hand their containment work back to the parent:
+    the memo is a pure function table, so merging can only add true facts.
+    """
+    token = summary_token(summary)
+    exported = []
+    for key, value in _CACHE._data.items():
+        if len(key) > _TOKEN_POSITION and key[_TOKEN_POSITION] == token:
+            exported.append((_replace_token(key, None), value))
+    return exported
+
+
+def merge_containment_delta(
+    summary: "Summary", delta: list[tuple[tuple, object]]
+) -> int:
+    """Merge decisions exported by another process; returns how many were new.
+
+    A no-op (returning 0) while the memo is disabled — storing would be
+    dropped anyway, and reporting phantom merges would mislead callers."""
+    if not _CACHE.enabled:
+        return 0
+    token = summary_token(summary)
+    merged = 0
+    for portable, value in delta:
+        key = _replace_token(portable, token)
+        if key not in _CACHE._data:
+            merged += 1
+        _CACHE.store(key, value)
+    return merged
 
 
 # --------------------------------------------------------------------------- #
@@ -233,7 +255,7 @@ def containment_decision(
     """
     cache_key: Optional[tuple] = None
     if max_trees is None:
-        cache_key = (
+        cache_key = _cache_key(
             "single",
             pattern_key(contained),
             pattern_key(container),
@@ -319,7 +341,7 @@ def is_contained_in_union(
     Results are memoised like single containment decisions; the union pass
     of the rewriting search re-asks the same subset questions constantly.
     """
-    cache_key = (
+    cache_key = _cache_key(
         "union",
         pattern_key(contained),
         tuple(pattern_key(container) for container in containers),

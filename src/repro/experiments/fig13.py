@@ -20,7 +20,11 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.containment.core import clear_containment_cache, containment_decision
+from repro.containment.core import (
+    clear_containment_cache,
+    containment_cache_disabled,
+    containment_decision,
+)
 from repro.canonical.model import canonical_model
 from repro.summary.dataguide import Summary, build_summary
 from repro.workloads.synthetic import SyntheticPatternConfig, generate_random_pattern
@@ -68,18 +72,22 @@ def run_fig13_query_containment(
 ) -> list[QueryContainmentRow]:
     """Canonical model size and self-containment time per XMark query.
 
-    The containment memo is cleared first: the figure measures the cost of
-    *deciding* containment, so every test below must be a cache miss."""
+    The figure measures the cost of *deciding* containment from scratch, so
+    both memo layers (decisions and canonical models) are bypassed for the
+    timed section — the model-size probe just before each test would
+    otherwise pre-warm the canonical-model memo and the timings would
+    measure a replay."""
     summary = summary or xmark_summary()
     clear_containment_cache()
     rows = []
     for name, pattern in sorted(
         xmark_query_patterns().items(), key=lambda kv: int(kv[0][1:])
     ):
-        model = canonical_model(pattern, summary, max_trees=5000)
-        start = time.perf_counter()
-        decision = containment_decision(pattern, pattern, summary)
-        elapsed = time.perf_counter() - start
+        with containment_cache_disabled():
+            model = canonical_model(pattern, summary, max_trees=5000)
+            start = time.perf_counter()
+            decision = containment_decision(pattern, pattern, summary)
+            elapsed = time.perf_counter() - start
         rows.append(
             QueryContainmentRow(
                 query=name,
@@ -114,8 +122,10 @@ def run_fig13_synthetic_containment(
     from repro.errors import ContainmentError
 
     summary = summary or xmark_summary()
-    # the per-pair tests below pass max_trees and therefore bypass the memo,
-    # but clear it anyway so mixed runs stay comparable run to run
+    # the timed section below disables both memo layers (max_trees already
+    # bypasses the decision memo, but the canonical-model memo would still
+    # warm across pairs sharing a side); clear as well so mixed runs stay
+    # comparable run to run
     clear_containment_cache()
     rng = random.Random(seed)
     rows = []
@@ -137,10 +147,11 @@ def run_fig13_synthetic_containment(
                 for right in patterns[i:]:
                     start = time.perf_counter()
                     try:
-                        decision = containment_decision(
-                            left, right, summary, check_attributes=False,
-                            max_trees=max_trees,
-                        )
+                        with containment_cache_disabled():
+                            decision = containment_decision(
+                                left, right, summary, check_attributes=False,
+                                max_trees=max_trees,
+                            )
                     except ContainmentError:
                         continue  # worst-case canonical model, skipped
                     elapsed = time.perf_counter() - start

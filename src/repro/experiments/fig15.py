@@ -22,6 +22,7 @@ from contextlib import nullcontext
 
 from repro.containment.core import clear_containment_cache, containment_cache_disabled
 from repro.experiments.fig13 import xmark_summary
+from repro.planning.planner import Planner
 from repro.rewriting.algorithm import RewritingConfig
 from repro.rewriting.rewriter import Rewriter
 from repro.summary.dataguide import Summary
@@ -34,7 +35,7 @@ __all__ = ["RewritingRow", "run_fig15", "print_fig15", "fig15_views"]
 
 @dataclass
 class RewritingRow:
-    """One group of bars of Figure 15."""
+    """One group of bars of Figure 15 (plus the plan-choice columns)."""
 
     query: str
     setup_seconds: float
@@ -42,6 +43,21 @@ class RewritingRow:
     total_seconds: float
     rewritings_found: int
     views_kept_ratio: float
+    best_plan_cost: Optional[float] = None
+    """Estimated cost of the planner's chosen plan (None when no rewriting)."""
+    seed_plan_cost: Optional[float] = None
+    """Estimated cost of the rewriting the *seed* policy would have
+    executed — ``RewriteOutcome.best``, i.e. non-union with the fewest view
+    occurrences (the pre-planner ``answer()`` behaviour)."""
+
+    @property
+    def plan_choice_changed(self) -> bool:
+        """Did cost-based selection beat the seed fewest-views choice?"""
+        return (
+            self.best_plan_cost is not None
+            and self.seed_plan_cost is not None
+            and self.best_plan_cost < self.seed_plan_cost
+        )
 
 
 def fig15_views(
@@ -73,6 +89,7 @@ def run_fig15(
     query_names: Optional[Sequence[str]] = None,
     use_catalog: bool = True,
     fresh_containment_cache: bool = True,
+    rank_plans: bool = True,
 ) -> list[RewritingRow]:
     """Rewrite every XMark query pattern against the Figure 15 view set.
 
@@ -83,6 +100,14 @@ def run_fig15(
     memo, since cross-query cache hits would otherwise make the reported
     per-query times order-dependent and un-seed-like.  The memo is cleared
     up front by default so catalog-mode runs do not depend on earlier runs.
+
+    With ``rank_plans`` (the default) every outcome's rewritings are also
+    lowered and costed through a :class:`~repro.planning.Planner`, and the
+    row reports the chosen plan's cost next to the cost of the rewriting
+    the *seed* policy would have executed (``RewriteOutcome.best``: the
+    non-union, fewest-views heuristic) — the plan-choice-quality
+    comparison; ranking uses no containment tests, so the timing columns
+    are unaffected.
     """
     summary = summary or xmark_summary()
     queries = queries or xmark_query_patterns()
@@ -102,9 +127,22 @@ def run_fig15(
     memo = nullcontext() if use_catalog else containment_cache_disabled()
     with memo:
         outcomes = rewriter.rewrite_many([pattern for _, pattern in ordered])
+    planner = Planner(rewriter) if rank_plans else None
     rows = []
     for (name, _), outcome in zip(ordered, outcomes):
         stats = outcome.statistics
+        best_cost = seed_cost = None
+        if planner is not None and outcome.found:
+            # plan-choice quality: what cost-based selection buys over the
+            # seed policy (outcome.best — non-union, fewest views)
+            ranked = planner.rank(outcome)
+            best_cost = ranked[0].cost
+            seed_choice = outcome.best
+            seed_cost = next(
+                planned.cost
+                for planned in ranked
+                if planned.rewriting is seed_choice
+            )
         rows.append(
             RewritingRow(
                 query=name,
@@ -113,6 +151,8 @@ def run_fig15(
                 total_seconds=stats.total_seconds,
                 rewritings_found=stats.rewritings_found,
                 views_kept_ratio=stats.pruning_ratio,
+                best_plan_cost=best_cost,
+                seed_plan_cost=seed_cost,
             )
         )
     return rows
@@ -124,7 +164,8 @@ def print_fig15(rows: Optional[list[RewritingRow]] = None, **kwargs) -> str:
     lines = ["Figure 15: XMark query rewriting", ""]
     lines.append(
         f"{'query':>6} | {'setup (ms)':>11} | {'first (ms)':>11} | "
-        f"{'total (ms)':>11} | {'#rewritings':>11} | {'views kept':>10}"
+        f"{'total (ms)':>11} | {'#rewritings':>11} | {'views kept':>10} | "
+        f"{'best cost':>10} | {'seed cost':>10}"
     )
     for row in rows:
         first = (
@@ -132,15 +173,26 @@ def print_fig15(rows: Optional[list[RewritingRow]] = None, **kwargs) -> str:
             if row.first_rewriting_seconds is not None
             else "-"
         )
+        best_cost = f"{row.best_plan_cost:.0f}" if row.best_plan_cost is not None else "-"
+        seed_cost = (
+            f"{row.seed_plan_cost:.0f}" if row.seed_plan_cost is not None else "-"
+        )
         lines.append(
             f"{row.query:>6} | {row.setup_seconds * 1000:>11.1f} | {first:>11} | "
             f"{row.total_seconds * 1000:>11.1f} | {row.rewritings_found:>11} | "
-            f"{row.views_kept_ratio:>10.0%}"
+            f"{row.views_kept_ratio:>10.0%} | {best_cost:>10} | {seed_cost:>10}"
         )
     if rows:
         kept = sum(row.views_kept_ratio for row in rows) / len(rows)
         lines.append("")
         lines.append(f"average fraction of views kept after pruning: {kept:.0%}")
+        changed = sum(1 for row in rows if row.plan_choice_changed)
+        priced = sum(1 for row in rows if row.best_plan_cost is not None)
+        if priced:
+            lines.append(
+                f"plan choice: cost-based selection beat the seed "
+                f"fewest-views heuristic on {changed}/{priced} rewritten queries"
+            )
     text = "\n".join(lines)
     print(text)
     return text

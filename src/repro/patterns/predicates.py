@@ -275,6 +275,19 @@ class ValueFormula:
             and self._intervals[0].high.infinite
         )
 
+    def is_point(self) -> bool:
+        """True iff exactly one value satisfies the formula (``v = c``)."""
+        if len(self._intervals) != 1:
+            return False
+        interval = self._intervals[0]
+        return (
+            not interval.low.infinite
+            and not interval.high.infinite
+            and interval.low.closed
+            and interval.high.closed
+            and interval.low.key() == interval.high.key()
+        )
+
     def evaluate(self, value) -> bool:
         """Check whether ``value`` satisfies the formula.
 

@@ -1,0 +1,26 @@
+"""Cost-based plan selection: the layer between rewriting and execution.
+
+The rewriting search (:mod:`repro.rewriting`) produces *all* equivalent
+rewritings of a query; this package decides which one to run.  Each
+:class:`~repro.rewriting.algorithm.Rewriting` lowers to a
+:class:`LogicalPlan` — an explicit DAG over the algebra operators with
+per-node cardinality and cost annotations — a :class:`CostModel` prices the
+DAG from :class:`~repro.summary.statistics.Statistics` (view extent sizes,
+structural-join fan-out, navigation selectivity), and a :class:`Planner`
+ranks every alternative and executes the cheapest.
+"""
+
+from repro.planning.cost import CostModel, OperatorEstimate
+from repro.planning.logical import LogicalPlan, LogicalPlanNode, lower_plan
+from repro.planning.planner import PlanChoice, PlannedRewriting, Planner
+
+__all__ = [
+    "CostModel",
+    "OperatorEstimate",
+    "LogicalPlan",
+    "LogicalPlanNode",
+    "lower_plan",
+    "PlanChoice",
+    "PlannedRewriting",
+    "Planner",
+]

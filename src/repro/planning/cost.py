@@ -1,0 +1,152 @@
+"""The cost model: pricing algebra operators from summary statistics.
+
+The model implements the *cardinality context* protocol declared on
+:class:`~repro.algebra.operators.PlanOperator` (each operator's
+``estimate_rows`` hook calls back into it for every database-dependent
+number) and adds a per-operator *work* function reflecting what the
+interpreter in :mod:`repro.algebra.execution` actually does:
+
+* scans stream their extent (cost ∝ rows),
+* ``⋈=`` builds a hash table on one side and probes with the other
+  (cost ∝ left + right + output),
+* structural joins are nested loops over Dewey IDs (cost ∝ left × right),
+* unary operators stream their input once.
+
+Costs are cumulative over the plan *DAG*: a sub-plan shared by two parents
+is charged once, matching the executor's per-object result memo.  Every
+operator contributes at least :data:`CostModel.minimum_operator_cost`, so a
+plan is always strictly costlier than any of its sub-plans — the
+monotonicity the planner's ranking (and its tests) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.algebra.operators import (
+    ContentNavigation,
+    IdEqualityJoin,
+    NestedStructuralJoin,
+    PlanOperator,
+    StructuralJoin,
+    UnionPlan,
+)
+from repro.patterns.pattern import Axis
+from repro.patterns.predicates import ValueFormula
+from repro.summary.statistics import Statistics
+
+__all__ = ["CostModel", "OperatorEstimate"]
+
+
+@dataclass(frozen=True)
+class OperatorEstimate:
+    """Cardinality and cost annotations for one operator occurrence."""
+
+    rows: float
+    """Estimated output rows."""
+
+    operator_cost: float
+    """Work done by this operator alone (excluding its inputs)."""
+
+    cumulative_cost: float
+    """Work done by the whole sub-DAG rooted here (shared inputs counted once)."""
+
+
+class CostModel:
+    """Prices plans from a :class:`~repro.summary.statistics.Statistics`.
+
+    Parameters
+    ----------
+    statistics:
+        The cardinality statistics to read.  ``None`` falls back to a
+        statistics-free model (every view extent counts 1 row), which still
+        ranks plans by shape — more joins cost more.
+    """
+
+    minimum_operator_cost = 1.0
+    """Floor on per-operator work; keeps cost strictly DAG-monotone."""
+
+    equality_selectivity = 0.5
+    """Fraction of the smaller input surviving an ID-equality join."""
+
+    default_selection_selectivity = 0.3
+    """Selectivity of a range selection (equality uses a tighter one)."""
+
+    equality_selection_selectivity = 0.1
+    """Selectivity of an equality selection ``σ v=c``."""
+
+    def __init__(self, statistics: Optional[Statistics] = None):
+        self.statistics = statistics
+
+    # ------------------------------------------------------------------ #
+    # cardinality-context protocol (called from operator estimate_rows hooks)
+    # ------------------------------------------------------------------ #
+    def view_rows(self, view_name: str) -> float:
+        if self.statistics is None:
+            return 1.0
+        return self.statistics.view_rows(view_name)
+
+    def equality_join_rows(self, left: float, right: float) -> float:
+        # IDs are node identifiers: the join pairs each shared node once,
+        # so the output is bounded by the smaller side
+        return max(min(left, right) * self.equality_selectivity, 1.0)
+
+    def structural_join_rows(self, left: float, right: float, axis: Axis) -> float:
+        # each lower (right) row matches at most its ancestors present on
+        # the left: one for a parent join, ~average depth for ancestor joins
+        if axis is Axis.CHILD:
+            per_row = 1.0
+        else:
+            per_row = self.statistics.average_depth if self.statistics else 2.0
+        return max(min(left * right, right * per_row), 1.0)
+
+    def selection_selectivity(self, formula: ValueFormula) -> float:
+        if formula.is_true():
+            return 1.0
+        if formula.is_point():
+            return self.equality_selection_selectivity
+        return self.default_selection_selectivity
+
+    def navigation_matches(self, steps: Sequence[tuple[Axis, str]]) -> float:
+        if self.statistics is None:
+            return 1.0
+        return self.statistics.navigation_fanout(label for _, label in steps)
+
+    def unnest_fanout(self) -> float:
+        if self.statistics is None:
+            return 1.0
+        return max(self.statistics.average_fanout, 1.0)
+
+    def group_reduction(self) -> float:
+        return self.unnest_fanout()
+
+    # ------------------------------------------------------------------ #
+    # operator work
+    # ------------------------------------------------------------------ #
+    def operator_cost(
+        self,
+        operator: PlanOperator,
+        child_rows: Sequence[float],
+        output_rows: float,
+    ) -> float:
+        """Work of one operator given input and output cardinalities."""
+        if isinstance(operator, IdEqualityJoin):
+            work = child_rows[0] + child_rows[1] + output_rows
+        elif isinstance(operator, (StructuralJoin, NestedStructuralJoin)):
+            # the executor's structural joins are nested loops
+            work = child_rows[0] * child_rows[1] + output_rows
+        elif isinstance(operator, ContentNavigation):
+            # navigating inside stored content walks the fragment per row
+            work = child_rows[0] * (1.0 + len(operator.steps)) + output_rows
+        elif isinstance(operator, UnionPlan):
+            # duplicate elimination touches every branch row
+            work = sum(child_rows) + output_rows
+        else:
+            # scans and streaming unary operators: one pass over the output
+            # (or the input, whichever is larger)
+            work = max([output_rows, *child_rows]) if child_rows else output_rows
+        return max(work, self.minimum_operator_cost)
+
+    def __repr__(self) -> str:
+        return f"<CostModel statistics={self.statistics!r}>"

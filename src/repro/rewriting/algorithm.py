@@ -26,10 +26,10 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.algebra.operators import PlanOperator, UnionPlan
+from repro.algebra.operators import PlanOperator, UnionPlan, ViewScan
 from repro.canonical.model import annotate_paths
 from repro.containment.core import containment_deadline, is_contained_in_union
-from repro.errors import ContainmentBudgetExceeded
+from repro.errors import ContainmentBudgetExceeded, RewritingError
 from repro.patterns.pattern import Axis, PatternNode, TreePattern
 from repro.rewriting.alignment import AlignmentResult, align_candidate
 from repro.rewriting.candidates import RewriteCandidate, initial_candidate
@@ -77,6 +77,12 @@ class RewritingConfig:
     enable_content_unfolding: bool = True
     enable_virtual_ids: bool = True
 
+    enable_attribute_prefilter: bool = True
+    """Skip aligning candidates that cannot supply some required output
+    attribute on a compatible path (Prop. 3.7).  Alignment would reject
+    them anyway — after running containment tests — so disabling this only
+    slows the search down; results are identical either way."""
+
 
 @dataclass
 class RewritingStatistics:
@@ -90,6 +96,9 @@ class RewritingStatistics:
     candidates_explored: int = 0
     joins_attempted: int = 0
     rewritings_found: int = 0
+    alignments_pruned: int = 0
+    """Candidates skipped by the Prop. 3.7 attribute pre-filter before any
+    containment test ran."""
 
     @property
     def pruning_ratio(self) -> float:
@@ -144,6 +153,12 @@ class RewritingSearch:
         self._partial: list[tuple[RewriteCandidate, AlignmentResult]] = []
         self._seen_signatures: set = set()
         self._start_time = 0.0
+        # per (query return node, required attribute): names of views able
+        # to supply that attribute on a compatible path (None until _setup
+        # computes them; per-attribute, NOT per-set — see _prefiltered)
+        self._supplier_names: Optional[list[list[set[str]]]] = None
+        # candidate id -> (candidate, scan identities of its plan)
+        self._scan_id_cache: dict[int, tuple[RewriteCandidate, frozenset[int]]] = {}
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -232,14 +247,31 @@ class RewritingSearch:
             yield view, candidate
 
     def _attributes_feasible(self, initial: list[RewriteCandidate]) -> bool:
-        """Quick necessary condition: every query return node must have, in
-        some view, a node on compatible paths offering all its attributes
-        (joins never create attributes, so otherwise no rewriting exists)."""
+        """Quick necessary condition (seed semantics, unchanged): every
+        query return node must have, in some view, a single node on
+        compatible paths offering all its attributes.
+
+        (The single-node requirement is knowingly conservative: equality
+        fusion can pool attributes from several views onto one node, so a
+        query answerable only by such a join is bailed here — exactly as
+        the seed did; the identity tests pin this behaviour.)  The
+        catalog's ``views_supplying`` index answers whole return nodes in
+        O(1); only when it cannot vouch for any surviving view does the
+        per-node scan run, stopping at the first satisfying view.
+
+        With the Prop. 3.7 pre-filter enabled, the *per-attribute*
+        supplier sets for :meth:`_prefiltered` are computed afterwards.
+        """
+        names_in_play = {candidate.views_used[0] for candidate in initial}
         for query_node in self.query.return_nodes():
             required = set(query_node.attributes) or {"ID"}
             query_paths = query_node.annotated_paths or frozenset()
             if not query_paths:
                 return False
+            if self.catalog is not None and (
+                self.catalog.views_supplying(query_paths, required) & names_in_play
+            ):
+                continue
             satisfied = False
             for candidate in initial:
                 for node in candidate.pattern.nodes():
@@ -253,7 +285,54 @@ class RewritingSearch:
                     break
             if not satisfied:
                 return False
+        if self.config.enable_attribute_prefilter:
+            self._supplier_names = self._attribute_suppliers(initial)
         return True
+
+    def _attribute_suppliers(self, initial: list[RewriteCandidate]) -> list[list[set[str]]]:
+        """Per (query return node, required attribute): the views offering
+        that attribute on a compatible path.
+
+        This is the sound granularity for candidate pruning.  Equality
+        fusion merges the joined nodes and *pools their attributes*, so a
+        join candidate can serve a return node no single member view covers
+        alone — but every attribute on a fused node still traces back to
+        some member view's node whose paths are a superset of the fused
+        node's, so "each required attribute has a supplier among the
+        candidate's views" remains a necessary condition.  The catalog's
+        ``views_with_attribute`` inverted index fast-accepts most views;
+        attributes that only became derivable during setup (content
+        unfolding, virtual IDs) fall back to the per-node scan.
+        """
+        suppliers: list[list[set[str]]] = []
+        for query_node in self.query.return_nodes():
+            required = sorted(set(query_node.attributes) or {"ID"})
+            query_paths = query_node.annotated_paths or frozenset()
+            per_attribute: list[set[str]] = []
+            for attribute in required:
+                fast: set[str] = set()
+                if self.catalog is not None:
+                    for number in query_paths:
+                        for view in self.catalog.views_with_attribute(
+                            number, attribute
+                        ):
+                            fast.add(view.name)
+                names: set[str] = set()
+                for candidate in initial:
+                    name = candidate.views_used[0]
+                    if name in fast:
+                        names.add(name)
+                        continue
+                    for node in candidate.pattern.nodes():
+                        node_paths = node.annotated_paths or frozenset()
+                        if not node_paths or not (node_paths & query_paths):
+                            continue
+                        if attribute in candidate.available_attributes(node):
+                            names.add(name)
+                            break
+                per_attribute.append(names)
+            suppliers.append(per_attribute)
+        return suppliers
 
     # ------------------------------------------------------------------ #
     # join loop
@@ -285,6 +364,14 @@ class RewritingSearch:
         self, left: RewriteCandidate, right: RewriteCandidate
     ) -> list[RewriteCandidate]:
         """All join results of two candidates (Algorithm 1, lines 3-5)."""
+        if self._shares_scans(left, right):
+            # joining a candidate with (a candidate containing) itself: the
+            # right side must become a *fresh occurrence* of its view —
+            # otherwise the join plan references one ViewScan object twice
+            # and can never execute (both inputs produce identical column
+            # names).  The pattern side always copies, so only the plan /
+            # column bookkeeping needs the new alias.
+            right = self._fresh_occurrence(right)
         results: list[RewriteCandidate] = []
         structural_ok = (
             self.config.enable_structural_joins
@@ -337,6 +424,68 @@ class RewritingSearch:
     @staticmethod
     def _views_structural(candidate: RewriteCandidate) -> bool:
         return True  # structural-scheme filtering happens per view at setup
+
+    @staticmethod
+    def _scan_ids(plan) -> frozenset[int]:
+        """Identities of every ViewScan object reachable in a plan."""
+        found: set[int] = set()
+        stack = [plan]
+        while stack:
+            operator = stack.pop()
+            if isinstance(operator, ViewScan):
+                found.add(id(operator))
+            stack.extend(operator.children())
+        return frozenset(found)
+
+    def _candidate_scan_ids(self, candidate: RewriteCandidate) -> frozenset[int]:
+        """Scan identities of a candidate's plan, cached per candidate.
+
+        Plans are immutable once a candidate exists, and ``_join_pair``
+        asks this question for every pairing in the join loop — without the
+        cache the whole left plan would be re-walked per pair.  The cache
+        holds the candidate itself so its id is never recycled under us.
+        """
+        cached = self._scan_id_cache.get(id(candidate))
+        if cached is None:
+            cached = (candidate, self._scan_ids(candidate.plan))
+            self._scan_id_cache[id(candidate)] = cached
+        return cached[1]
+
+    def _shares_scans(self, left: RewriteCandidate, right: RewriteCandidate) -> bool:
+        left_ids = self._candidate_scan_ids(left)
+        if isinstance(right.plan, ViewScan):
+            # the common case: right always comes from M0 (a bare scan)
+            return id(right.plan) in left_ids
+        return bool(left_ids & self._candidate_scan_ids(right))
+
+    @staticmethod
+    def _fresh_occurrence(candidate: RewriteCandidate) -> RewriteCandidate:
+        """Clone an initial candidate as a new occurrence of its view.
+
+        A fresh scan alias is minted and every alias-qualified column name
+        (materialised and lazy) is re-qualified through
+        :meth:`RewriteCandidate.clone`.  Only initial candidates reach this
+        point — their plan is a bare ``ViewScan`` — because joins always
+        take their right input from ``M0``.
+        """
+        from repro.rewriting.candidates import _alias_counter
+
+        scan = candidate.plan
+        if not isinstance(scan, ViewScan):  # pragma: no cover - defensive
+            raise RewritingError(
+                "only initial (single-scan) candidates can be re-instantiated"
+            )
+        new_alias = f"{scan.view_name}@{next(_alias_counter)}"
+        old_prefix = f"{scan.effective_alias}."
+        new_prefix = f"{new_alias}."
+
+        def requalify(name: str) -> str:
+            return new_prefix + name[len(old_prefix):] if name.startswith(old_prefix) else name
+
+        return candidate.clone(
+            plan=ViewScan(view_name=scan.view_name, alias=new_alias),
+            rename_column=requalify,
+        )
 
     # ------------------------------------------------------------------ #
     # join construction helpers
@@ -456,6 +605,8 @@ class RewritingSearch:
         """Try to align a candidate with the query; record successes."""
         if self._out_of_time():
             return
+        if self._prefiltered(candidate):
+            return
         try:
             result = align_candidate(candidate, self.query, self.summary)
             if result is not None:
@@ -470,6 +621,28 @@ class RewritingSearch:
         except ContainmentBudgetExceeded:
             # the budget ran out mid-test; _done() ends the search next check
             return
+
+    def _prefiltered(self, candidate: RewriteCandidate) -> bool:
+        """Prop. 3.7: can the candidate's views cover every output attribute?
+
+        Joins never *create* attributes — every column of a candidate
+        traces back to some member view's initial candidate — so when, for
+        some required (return node, attribute), none of the candidate's
+        views offers the attribute on a compatible path, alignment is
+        bound to fail; skip it (and its containment tests) outright.  The
+        check is per attribute, not per attribute *set*: equality fusion
+        pools attributes from several views onto one node, so a full-set
+        single-view requirement would wrongly prune such joins.
+        """
+        if not self.config.enable_attribute_prefilter or not self._supplier_names:
+            return False
+        used = set(candidate.views_used)
+        for per_attribute in self._supplier_names:
+            for names in per_attribute:
+                if not (used & names):
+                    self.statistics.alignments_pruned += 1
+                    return True
+        return False
 
     def _record(
         self, result: AlignmentResult, candidate: RewriteCandidate, is_union: bool

@@ -1,0 +1,198 @@
+"""Parallel batch rewriting: shard a workload across worker processes.
+
+``Rewriter.rewrite_many`` is rebuilt on top of this engine.  The sequential
+fast path (catalog + memo, PR 1) stays exactly as it was; with ``workers >
+1`` the engine
+
+1. builds the shared :class:`~repro.views.catalog.ViewCatalog` once and
+   persists it with :meth:`ViewCatalog.save` (extents stripped — workers
+   only rewrite, the parent executes),
+2. spawns a process pool whose initializer loads the catalog exactly once
+   per worker — the same snapshot file every worker maps, which is the
+   whole point of the versioned save/load format,
+3. deals queries round-robin into ``workers`` shards (queries are
+   independent; results are re-assembled in input order),
+4. merges each worker's containment-memo delta back into the parent
+   (:func:`~repro.containment.core.merge_containment_delta`), so a
+   follow-up sequential run starts warm.
+
+Rewriting is pure CPU-bound Python, so processes — not threads — are the
+only way to scale it with cores.  Every worker produces the outcomes the
+sequential path would (the search is deterministic given query, summary,
+views and config; memo state never changes results), so parallel and
+sequential runs are plan-for-plan identical *up to generated alias
+numbering*: scan aliases come from a per-process counter, so compare
+plans with alias-insensitive fingerprints (normalise ``[@#]\\d+``), not
+raw ``describe()`` strings.  One genuine caveat: searches are bounded by
+``RewritingConfig.time_budget_seconds`` in *wall-clock* terms, so on an
+oversubscribed host a worker can run out of budget earlier than the
+sequential run would and report fewer rewritings — with the default 20 s
+budget this needs per-query searches within ~an order of magnitude of the
+budget; raise or disable the budget for strict reproducibility.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.containment.core import merge_containment_delta
+from repro.patterns.pattern import TreePattern
+from repro.rewriting.algorithm import RewritingConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rewriting.rewriter import Rewriter, RewriteOutcome
+
+__all__ = ["BatchEngine", "resolve_worker_count"]
+
+
+def resolve_worker_count(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` argument: None / 0 mean one per CPU."""
+    if workers is None or workers <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return workers
+
+
+# --------------------------------------------------------------------------- #
+# worker-process side
+# --------------------------------------------------------------------------- #
+_WORKER_REWRITER: Optional["Rewriter"] = None
+
+
+def _worker_init(
+    catalog_path: str,
+    config: RewritingConfig,
+    decisions_enabled: bool,
+    models_enabled: bool,
+) -> None:
+    """Process-pool initializer: load the shared catalog snapshot once.
+
+    The two flags carry the parent's memo switches into the worker — each
+    cache independently, so a parent that disabled only one layer gets the
+    same configuration in every worker.  A parallel run inside
+    :func:`~repro.containment.core.containment_cache_disabled` must be
+    un-memoised in the workers too, or the "honest baseline" context would
+    silently measure cache-warm work.
+    """
+    global _WORKER_REWRITER
+    from repro.canonical.model import canonical_model_cache
+    from repro.containment.core import containment_cache
+    from repro.rewriting.rewriter import Rewriter
+    from repro.views.catalog import ViewCatalog
+
+    containment_cache().enabled = decisions_enabled
+    canonical_model_cache().enabled = models_enabled
+    catalog = ViewCatalog.load(catalog_path)
+    _WORKER_REWRITER = Rewriter.from_catalog(catalog, config)
+
+
+def _worker_run(
+    indexed_queries: list[tuple[int, TreePattern]],
+) -> tuple[list[tuple[int, "RewriteOutcome"]], list]:
+    """Rewrite one shard; return indexed outcomes plus the memo delta."""
+    from repro.containment.core import export_containment_delta
+
+    assert _WORKER_REWRITER is not None, "worker used before initialisation"
+    outcomes = [
+        (index, _WORKER_REWRITER.rewrite(query)) for index, query in indexed_queries
+    ]
+    delta = export_containment_delta(_WORKER_REWRITER.summary)
+    return outcomes, delta
+
+
+# --------------------------------------------------------------------------- #
+# parent-process side
+# --------------------------------------------------------------------------- #
+class BatchEngine:
+    """Shards a rewriting workload over a process pool.
+
+    Parameters
+    ----------
+    rewriter:
+        The configured rewriter whose summary / views / catalog the batch
+        uses.  The engine never mutates it (beyond building its catalog).
+    workers:
+        Worker process count; ``None`` or ``0`` mean one per CPU core.
+    catalog_path:
+        Where to persist the shared catalog snapshot.  A temporary file is
+        used (and removed afterwards) when omitted; pass an explicit path to
+        keep the snapshot for later runs or other processes.
+
+    A rewriter constructed with ``use_catalog=False`` has no snapshot to
+    share, so :meth:`run` degrades to the sequential loop regardless of
+    ``workers`` (results are identical; only wall-clock differs).
+    """
+
+    def __init__(
+        self,
+        rewriter: "Rewriter",
+        workers: Optional[int] = None,
+        catalog_path: Optional[str | Path] = None,
+    ):
+        self.rewriter = rewriter
+        self.workers = resolve_worker_count(workers)
+        self.catalog_path = Path(catalog_path) if catalog_path is not None else None
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        queries: Sequence[TreePattern],
+        config: Optional[RewritingConfig] = None,
+    ) -> list["RewriteOutcome"]:
+        """Rewrite the workload; outcomes come back in input order."""
+        queries = list(queries)
+        config = config or self.rewriter.config
+        workers = min(self.workers, len(queries)) or 1
+        if workers <= 1:
+            return [self.rewriter.rewrite(query, config) for query in queries]
+
+        catalog = self.rewriter.catalog
+        if catalog is None:
+            # the parallel path shares views through the catalog snapshot;
+            # a rewriter that disabled the catalog falls back to sequential
+            return [self.rewriter.rewrite(query, config) for query in queries]
+
+        indexed = list(enumerate(queries))
+        shards = [indexed[shard::workers] for shard in range(workers)]
+        cleanup = self.catalog_path is None
+        if self.catalog_path is None:
+            handle, name = tempfile.mkstemp(prefix="viewcatalog-", suffix=".pkl")
+            os.close(handle)
+            path = Path(name)
+        else:
+            path = self.catalog_path
+        from repro.canonical.model import canonical_model_cache
+        from repro.containment.core import containment_cache
+
+        try:
+            catalog.save(path)
+            by_index: dict[int, "RewriteOutcome"] = {}
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(
+                    str(path),
+                    config,
+                    containment_cache().enabled,
+                    canonical_model_cache().enabled,
+                ),
+            ) as pool:
+                for outcomes, delta in pool.map(_worker_run, shards):
+                    for index, outcome in outcomes:
+                        by_index[index] = outcome
+                    merge_containment_delta(self.rewriter.summary, delta)
+        finally:
+            if cleanup:
+                path.unlink(missing_ok=True)
+
+        results = []
+        for index, query in enumerate(queries):
+            outcome = by_index[index]
+            # the worker rewrote a pickled copy; hand the caller back the
+            # exact query object it submitted, like the sequential path does
+            outcome.query = query
+            results.append(outcome)
+        return results

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.algebra.operators import (
     ContentNavigation,
@@ -198,6 +198,99 @@ class RewriteCandidate:
             ),
             columns[key],
         )
+
+    # ------------------------------------------------------------------ #
+    # cloning
+    # ------------------------------------------------------------------ #
+    def clone(
+        self,
+        plan: Optional[PlanOperator] = None,
+        rename_column: Optional[Callable[[str], str]] = None,
+    ) -> "RewriteCandidate":
+        """A deep copy the search may annotate and transform freely.
+
+        The pattern is copied with :func:`~repro.rewriting.fusion.
+        copy_with_map` and the column bookkeeping follows the node map; the
+        explicit return order is restored (``copy_with_map`` drops it, and
+        it changes result column order).  ``plan`` optionally replaces the
+        plan — together with ``rename_column`` (applied to every
+        alias-qualified column name, materialised and lazy) this turns the
+        clone into a *fresh occurrence* of the same view under a new scan
+        alias.  Catalog prototypes clone with neither argument.
+        """
+        from repro.rewriting.fusion import copy_with_map
+
+        rename = rename_column or (lambda name: name)
+        pattern, mapping = copy_with_map(self.pattern)
+        explicit_order = self.pattern._return_order
+        if explicit_order is not None:
+            pattern.set_return_order([mapping[id(node)] for node in explicit_order])
+        columns = {
+            (id(mapping[node_id]), attribute): rename(column)
+            for (node_id, attribute), column in self.columns.items()
+        }
+        lazy = {
+            (id(mapping[node_id]), attribute): replace(
+                spec, source_column=rename(spec.source_column)
+            )
+            for (node_id, attribute), spec in self.lazy.items()
+        }
+        return RewriteCandidate(
+            plan=plan if plan is not None else self.plan,
+            pattern=pattern,
+            columns=columns,
+            lazy=lazy,
+            views_used=self.views_used,
+            unnested_columns=frozenset(
+                rename(name) for name in self.unnested_columns
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        """Pickle with column keys re-based on pattern pre-order positions.
+
+        ``columns`` and ``lazy`` are keyed by ``id(pattern node)`` — memory
+        addresses that mean nothing after unpickling.  Pre-order positions
+        are stable across a pattern round-trip, so the keys are translated
+        on the way out and rebuilt on the way in.  This is what makes
+        catalog snapshots (and their pre-annotated prototypes) shareable
+        across processes.
+        """
+        positions = {id(node): pos for pos, node in enumerate(self.pattern.nodes())}
+        return {
+            "plan": self.plan,
+            "pattern": self.pattern,
+            "columns": [
+                (positions[node_id], attribute, column)
+                for (node_id, attribute), column in self.columns.items()
+                if node_id in positions
+            ],
+            "lazy": [
+                (positions[node_id], attribute, spec)
+                for (node_id, attribute), spec in self.lazy.items()
+                if node_id in positions
+            ],
+            "views_used": self.views_used,
+            "unnested_columns": self.unnested_columns,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.plan = state["plan"]
+        self.pattern = state["pattern"]
+        nodes = self.pattern.nodes()
+        self.columns = {
+            (id(nodes[position]), attribute): column
+            for position, attribute, column in state["columns"]
+        }
+        self.lazy = {
+            (id(nodes[position]), attribute): spec
+            for position, attribute, spec in state["lazy"]
+        }
+        self.views_used = state["views_used"]
+        self.unnested_columns = state["unnested_columns"]
 
     def __repr__(self) -> str:
         return (

@@ -96,6 +96,7 @@ class Rewriter:
         self.use_catalog = use_catalog
         self._catalog: Optional["ViewCatalog"] = None
         self._catalog_version: Optional[int] = None
+        self._planner = None  # built lazily by answer(); caches its cost model
 
     # ------------------------------------------------------------------ #
     @property
@@ -121,6 +122,22 @@ class Rewriter:
         views are added to / removed from the set)."""
         self._catalog = None
 
+    @classmethod
+    def from_catalog(
+        cls, catalog: "ViewCatalog", config: Optional[RewritingConfig] = None
+    ) -> "Rewriter":
+        """Build a rewriter around an existing (e.g. loaded) catalog.
+
+        The catalog's summary, views and pre-annotated prototypes are
+        adopted as-is — nothing is re-derived.  This is how parallel batch
+        workers come up: :meth:`~repro.views.catalog.ViewCatalog.load` the
+        shared snapshot, then ``Rewriter.from_catalog``.
+        """
+        rewriter = cls(catalog.summary, catalog.views, config, use_catalog=True)
+        rewriter._catalog = catalog
+        rewriter._catalog_version = rewriter.views.version
+        return rewriter
+
     # ------------------------------------------------------------------ #
     def rewrite(
         self, query: TreePattern, config: Optional[RewritingConfig] = None
@@ -140,6 +157,7 @@ class Rewriter:
         self,
         queries: Iterable[TreePattern],
         config: Optional[RewritingConfig] = None,
+        workers: int = 1,
     ) -> list[RewriteOutcome]:
         """Rewrite a whole workload, sharing preprocessing across queries.
 
@@ -149,8 +167,24 @@ class Rewriter:
         repeated containment questions into cache hits.  The outcomes are
         exactly the outcomes :meth:`rewrite` produces query by query, in
         input order.
+
+        With ``workers > 1`` (or ``workers=0`` for one per CPU core) the
+        workload is sharded over a process pool by
+        :class:`~repro.rewriting.batch.BatchEngine`: every worker loads the
+        same persisted catalog snapshot once, and the workers' containment
+        memos are merged back afterwards.  Results are plan-for-plan
+        identical to the sequential path up to generated alias numbering
+        (see the :mod:`~repro.rewriting.batch` notes there — that caveat
+        and the wall-clock time-budget one).  A rewriter built with
+        ``use_catalog=False`` has no snapshot for workers to share, so it
+        always runs sequentially, whatever ``workers`` says.
         """
-        return [self.rewrite(query, config) for query in queries]
+        queries = list(queries)
+        if workers == 1 or len(queries) <= 1:
+            return [self.rewrite(query, config) for query in queries]
+        from repro.rewriting.batch import BatchEngine
+
+        return BatchEngine(self, workers=workers).run(queries, config)
 
     def rewrite_first(
         self, query: TreePattern
@@ -167,11 +201,27 @@ class Rewriter:
         return executor.execute(rewriting.plan)
 
     def answer(self, query: TreePattern) -> Relation:
-        """Rewrite and execute in one call (raises when no rewriting exists)."""
+        """Rewrite, pick the cheapest plan, and execute it.
+
+        Every rewriting found is lowered to a costed logical plan and the
+        minimum-cost one runs (see :class:`repro.planning.Planner`); the
+        seed behaviour of executing :attr:`RewriteOutcome.best` (the
+        fewest-views structural heuristic, blind to extent sizes) is gone.
+        All alternatives return the same relation — they are S-equivalent
+        — so only the execution cost changes.
+        """
         outcome = self.rewrite(query)
         if not outcome.found:
             raise RewritingError(
                 f"query {query.name!r} has no equivalent rewriting over "
                 f"views {sorted(self.views.names)}"
             )
-        return self.execute(outcome.best)
+        if self._planner is None:
+            from repro.planning.planner import Planner
+
+            # kept across calls: the planner caches its derived cost model
+            # keyed on (catalog identity, view-set version), so repeated
+            # answers do not rebuild statistics from scratch
+            self._planner = Planner(self)
+        ranked = self._planner.rank(outcome)
+        return self.execute(ranked[0].rewriting)

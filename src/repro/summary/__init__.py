@@ -15,13 +15,14 @@ Summaries are built in a single linear pass over the document, as in [15].
 
 from repro.summary.node import SummaryNode
 from repro.summary.dataguide import Summary, build_summary, summary_from_paths
-from repro.summary.statistics import SummaryStatistics, summarize
+from repro.summary.statistics import Statistics, SummaryStatistics, summarize
 
 __all__ = [
     "SummaryNode",
     "Summary",
     "build_summary",
     "summary_from_paths",
+    "Statistics",
     "SummaryStatistics",
     "summarize",
 ]

@@ -1,18 +1,37 @@
-"""Summary statistics in the shape of the paper's Table 1.
+"""Summary statistics: the paper's Table 1 plus planner cardinalities.
 
-Table 1 reports, for each document: its size, the summary size ``|S|``, the
-number of strong edges ``ns`` and the number of one-to-one edges ``n1``.
-:func:`summarize` computes all of these from a document in one call.
+Two layers live here:
+
+* :class:`SummaryStatistics` / :func:`summarize` — one row of the paper's
+  Table 1 (document size, ``|S|``, ``ns``, ``n1``),
+* :class:`Statistics` — the cardinality statistics the cost-based planner
+  reads: per-summary-path instance counts, structural-join fan-out between
+  paths, label frequencies, navigation fan-out along label chains, and view
+  extent sizes (exact for materialised views, estimated from the summary's
+  instance counts otherwise).
+
+The summary already counts document instances per path while it is built
+(:func:`~repro.summary.dataguide.build_summary`), so :class:`Statistics` is a
+pure re-indexing of numbers that exist anyway — building one never touches
+the document.  Summaries written down by hand
+(:func:`~repro.summary.dataguide.summary_from_paths`) carry no counts; every
+estimator degrades to a floor of one instance per path so costing stays
+defined (and still ranks plans by shape).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.summary.dataguide import Summary, build_summary
 from repro.xmltree.node import XMLDocument
 
-__all__ = ["SummaryStatistics", "summarize"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.patterns.pattern import TreePattern
+    from repro.views.view import MaterializedView
+
+__all__ = ["SummaryStatistics", "Statistics", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -53,3 +72,176 @@ def summarize(doc: XMLDocument, summary: Summary | None = None) -> SummaryStatis
         one_to_one_edges=summary.one_to_one_edge_count,
         max_depth=summary.max_depth,
     )
+
+
+# --------------------------------------------------------------------------- #
+# planner cardinalities
+# --------------------------------------------------------------------------- #
+class Statistics:
+    """Cardinality statistics over one summary, consumed by the cost model.
+
+    The count-shaped estimators (:meth:`instance_count`,
+    :meth:`path_set_instances`, :meth:`view_rows`) are floored at 1.0 so
+    row estimates never collapse to zero; ratio-shaped ones
+    (:meth:`label_frequency`, :meth:`navigation_fanout`) legitimately
+    return fractions below 1 — strict cost positivity is guaranteed by the
+    cost model's per-operator floor, not here.  Instances are plain
+    dictionaries of numbers: picklable, so a catalog snapshot can ship
+    them to worker processes.
+    """
+
+    def __init__(
+        self,
+        summary: Summary,
+        views: Iterable["MaterializedView"] = (),
+    ):
+        self.summary_name = summary.name
+        # kept for lazy pattern annotation in observe_view; snapshots that
+        # already contain the summary object share it through pickle's memo
+        self._summary = summary
+        self._instances: dict[int, int] = {}
+        self._depths: dict[int, int] = {}
+        self._label_instances: dict[str, int] = {}
+        total = 0
+        weighted_depth = 0
+        internal = 0
+        for node in summary.iter_nodes():
+            self._instances[node.number] = node.instance_count
+            self._depths[node.number] = node.depth
+            self._label_instances[node.label] = (
+                self._label_instances.get(node.label, 0) + node.instance_count
+            )
+            total += node.instance_count
+            weighted_depth += node.instance_count * node.depth
+            if node.children:
+                internal += node.instance_count
+        self.total_instances = max(total, 1)
+        self.average_depth = (
+            weighted_depth / total if total else float(summary.max_depth)
+        )
+        # average number of children per *internal* instance: every non-root
+        # instance is the child of an instance on a summary path that has
+        # children, so this is (non-root instances) / (internal instances)
+        root_count = summary.root.instance_count or 1
+        self.average_fanout = max(
+            1.0, (self.total_instances - root_count) / max(internal, 1)
+        )
+        self._view_rows: dict[str, float] = {}
+        self._view_exact: dict[str, bool] = {}
+        for view in views:
+            self.observe_view(view)
+
+    # ------------------------------------------------------------------ #
+    # base statistics
+    # ------------------------------------------------------------------ #
+    def instance_count(self, number: int) -> float:
+        """Document instances on summary path ``number`` (floored at 1)."""
+        return float(max(self._instances.get(number, 0), 1))
+
+    def path_set_instances(self, numbers: Iterable[int]) -> float:
+        """Total instances over a set of summary paths (floored at 1)."""
+        total = sum(self._instances.get(number, 0) for number in numbers)
+        return float(max(total, 1))
+
+    def label_frequency(self, label: str) -> float:
+        """Fraction of all document instances carrying ``label``.
+
+        Genuinely absent labels report 0.0 (not a floored minimum), so a
+        navigation step towards a label the document never contains prices
+        near-zero output — :meth:`navigation_fanout` applies its own small
+        floor to keep products well-defined."""
+        return self._label_instances.get(label, 0) / self.total_instances
+
+    def navigation_fanout(self, labels: Iterable[str]) -> float:
+        """Estimated matches of a downward label chain per starting node.
+
+        Each step multiplies by the average per-instance frequency of the
+        step's label — the selectivity a ``ContentNavigation`` operator
+        pays per input row.
+        """
+        estimate = 1.0
+        for label in labels:
+            estimate *= max(
+                self.label_frequency(label) * self.average_depth, 1e-3
+            )
+        return max(estimate, 1e-3)
+
+    # ------------------------------------------------------------------ #
+    # view extents
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def with_annotated_views(
+        cls,
+        summary: Summary,
+        pairs: Iterable[tuple["MaterializedView", "TreePattern"]],
+    ) -> "Statistics":
+        """Build statistics over (view, annotated pattern) pairs.
+
+        Same extent policy as :meth:`observe_view` — exact counts for
+        materialised views, path-based estimates otherwise — but taking
+        *pre-annotated* patterns, so callers that already hold them (the
+        catalog's prototype entries) skip the per-view annotation copy.
+        """
+        statistics = cls(summary)
+        for view, pattern in pairs:
+            if view.is_materialized:
+                statistics.observe_view(view)
+            else:
+                statistics.set_view_rows(
+                    view.name,
+                    statistics.estimate_pattern_rows(pattern),
+                    exact=False,
+                )
+        return statistics
+
+    def observe_view(self, view: "MaterializedView") -> None:
+        """Record a view's extent size (exact when materialised).
+
+        Unmaterialised views are estimated from associated summary paths;
+        raw view patterns are never annotated, so a throwaway copy is
+        annotated here — without this, every unmaterialised view would
+        silently price at the 1-row floor."""
+        if view.is_materialized:
+            self._view_rows[view.name] = float(max(len(view.relation), 1))
+            self._view_exact[view.name] = True
+        else:
+            from repro.canonical.model import annotate_paths
+
+            pattern = annotate_paths(view.pattern.copy(), self._summary)
+            self._view_rows[view.name] = self.estimate_pattern_rows(pattern)
+            self._view_exact[view.name] = False
+
+    def view_rows(self, name: str) -> float:
+        """Extent size of the named view (1.0 when entirely unknown)."""
+        return self._view_rows.get(name, 1.0)
+
+    def view_rows_exact(self, name: str) -> bool:
+        """True iff :meth:`view_rows` reports a materialised row count."""
+        return self._view_exact.get(name, False)
+
+    def set_view_rows(self, name: str, rows: float, exact: bool = True) -> None:
+        """Override the recorded extent size (used by snapshots / tests)."""
+        self._view_rows[name] = float(max(rows, 1.0))
+        self._view_exact[name] = exact
+
+    def estimate_pattern_rows(self, pattern: "TreePattern") -> float:
+        """Estimated result size of a tree pattern from its associated paths.
+
+        The dominant term of a tree-pattern result is the most numerous
+        return node: every output tuple binds it to a distinct document
+        node (up to multiplicities introduced by sibling return nodes,
+        ignored here).  Patterns that were never annotated fall back to the
+        floor of one row.
+        """
+        best = 1.0
+        for node in pattern.return_nodes():
+            paths = node.annotated_paths
+            if paths:
+                best = max(best, self.path_set_instances(paths))
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"<Statistics summary={self.summary_name!r} "
+            f"instances={self.total_instances} views={len(self._view_rows)}>"
+        )

@@ -16,6 +16,6 @@ per query.
 
 from repro.views.view import IdScheme, MaterializedView
 from repro.views.store import ViewSet
-from repro.views.catalog import ViewCatalog
+from repro.views.catalog import CatalogFormatError, ViewCatalog
 
-__all__ = ["IdScheme", "MaterializedView", "ViewCatalog", "ViewSet"]
+__all__ = ["CatalogFormatError", "IdScheme", "MaterializedView", "ViewCatalog", "ViewSet"]

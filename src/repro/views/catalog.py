@@ -31,23 +31,40 @@ into the catalog without changing results.
 
 from __future__ import annotations
 
+import pickle
+from pathlib import Path
 from typing import Iterable, Iterator, Optional
 
 from repro.canonical.model import annotate_paths
+from repro.errors import ReproError
 from repro.patterns.pattern import TreePattern
 from repro.rewriting.candidates import RewriteCandidate, initial_candidate
-from repro.rewriting.fusion import copy_with_map
 from repro.summary.dataguide import Summary
 from repro.summary.index import SummaryIndex
-from repro.views.view import MaterializedView
+from repro.summary.statistics import Statistics
+from repro.views.view import MaterializedView, view_extents_excluded
 
-__all__ = ["ViewCatalog"]
+__all__ = ["CatalogFormatError", "ViewCatalog", "CATALOG_FORMAT_VERSION"]
+
+CATALOG_FORMAT_VERSION = 1
+"""On-disk format version written by :meth:`ViewCatalog.save`."""
+
+
+class CatalogFormatError(ReproError):
+    """Raised when a persisted catalog cannot be loaded."""
 
 
 class _ViewEntry:
     """One catalogued view: its pre-annotated prototype candidate and keys."""
 
-    __slots__ = ("view", "candidate", "hits", "related_hits", "attributes_by_path")
+    __slots__ = (
+        "view",
+        "candidate",
+        "hits",
+        "related_hits",
+        "attributes_by_path",
+        "node_offers",
+    )
 
     def __init__(
         self, view: MaterializedView, candidate: RewriteCandidate, index: SummaryIndex
@@ -56,6 +73,7 @@ class _ViewEntry:
         self.candidate = candidate
         hits: set[int] = set()
         attributes_by_path: dict[int, set[str]] = {}
+        node_offers: list[tuple[frozenset[int], frozenset[str]]] = []
         for node in candidate.pattern.nodes():
             paths = node.annotated_paths or frozenset()
             if not paths:
@@ -66,6 +84,7 @@ class _ViewEntry:
             if available:
                 for number in paths:
                     attributes_by_path.setdefault(number, set()).update(available)
+                node_offers.append((frozenset(paths), frozenset(available)))
         related: set[int] = set(hits)
         for number in hits:
             related |= index.ancestors(number)
@@ -75,34 +94,17 @@ class _ViewEntry:
         self.attributes_by_path = {
             number: frozenset(attrs) for number, attrs in attributes_by_path.items()
         }
+        # per-node (paths, attributes) pairs: unlike attributes_by_path this
+        # keeps same-node correlation, which Prop. 3.7 needs (the attributes
+        # must all come from ONE pattern node on a compatible path)
+        self.node_offers = tuple(node_offers)
+
+    # (pickling needs no custom methods: protocol 2+ handles __slots__-only
+    # classes natively, and RewriteCandidate re-keys itself on the way out)
 
     def instantiate(self) -> RewriteCandidate:
         """A fresh candidate clone the search may annotate and transform."""
-        pattern, mapping = copy_with_map(self.candidate.pattern)
-        explicit_order = self.candidate.pattern._return_order
-        if explicit_order is not None:
-            # copy_with_map drops the explicit return order; restore it so
-            # catalog clones match what TreePattern.copy (the naive path)
-            # produces — return order changes result column order
-            pattern.set_return_order(
-                [mapping[id(node)] for node in explicit_order]
-            )
-        columns = {
-            (id(mapping[node_id]), attribute): column
-            for (node_id, attribute), column in self.candidate.columns.items()
-        }
-        lazy = {
-            (id(mapping[node_id]), attribute): spec
-            for (node_id, attribute), spec in self.candidate.lazy.items()
-        }
-        return RewriteCandidate(
-            plan=self.candidate.plan,
-            pattern=pattern,
-            columns=columns,
-            lazy=lazy,
-            views_used=self.candidate.views_used,
-            unnested_columns=self.candidate.unnested_columns,
-        )
+        return self.candidate.clone()
 
 
 class ViewCatalog:
@@ -129,15 +131,21 @@ class ViewCatalog:
         self.index = index or SummaryIndex(summary)
         self.views: list[MaterializedView] = list(views)
         self._entries: list[_ViewEntry] = []
+        self._statistics: Optional[Statistics] = None
+        for view in self.views:
+            candidate = initial_candidate(view)
+            annotate_paths(candidate.pattern, summary)
+            self._entries.append(_ViewEntry(view, candidate, self.index))
+        self._reindex()
+
+    def _reindex(self) -> None:
+        """(Re)build the inverted indexes from the entry list."""
         self._by_related_path: dict[int, list[int]] = {}
         self._by_root_label: dict[str, list[int]] = {}
         self._by_name: dict[str, int] = {}
         self._by_path_attribute: dict[tuple[int, str], list[int]] = {}
-        for position, view in enumerate(self.views):
-            candidate = initial_candidate(view)
-            annotate_paths(candidate.pattern, summary)
-            entry = _ViewEntry(view, candidate, self.index)
-            self._entries.append(entry)
+        for position, entry in enumerate(self._entries):
+            view = entry.view
             self._by_root_label.setdefault(view.pattern.root.label, []).append(position)
             self._by_name.setdefault(view.name, position)
             for number in entry.related_hits:
@@ -172,6 +180,103 @@ class ViewCatalog:
             return self._entries[self._by_name[view_name]].hits
         except KeyError:
             raise KeyError(f"unknown view {view_name!r}") from None
+
+    def views_supplying(
+        self, numbers: Iterable[int], attributes: Iterable[str]
+    ) -> set[str]:
+        """Names of views with one prototype node offering *all* of
+        ``attributes`` on a summary path in ``numbers`` (Prop. 3.7).
+
+        The inverted ``views_with_attribute`` index narrows the candidates
+        (a view must offer every attribute somewhere on a compatible path)
+        and the per-node offers then enforce that the attributes come from
+        a single pattern node — the condition a rewriting's output column
+        actually needs.  Content unfolding and virtual IDs can only *add*
+        derivable attributes later, so membership here is a sound
+        fast-accept, never a rejection oracle on its own.
+        """
+        numbers = frozenset(numbers)
+        required = frozenset(attributes) or frozenset({"ID"})
+        positions: Optional[set[int]] = None
+        for attribute in required:
+            offering: set[int] = set()
+            for number in numbers:
+                offering.update(self._by_path_attribute.get((number, attribute), ()))
+            positions = offering if positions is None else positions & offering
+            if not positions:
+                return set()
+        names: set[str] = set()
+        for position in positions or ():
+            entry = self._entries[position]
+            for paths, available in entry.node_offers:
+                if paths & numbers and required <= available:
+                    names.add(entry.view.name)
+                    break
+        return names
+
+    # ------------------------------------------------------------------ #
+    # statistics snapshot
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> Statistics:
+        """A cardinality snapshot for the cost model (built once, cached).
+
+        Materialised views report exact extent sizes; unmaterialised views
+        are estimated from the summary's instance counts through their
+        pre-annotated prototype patterns.  The snapshot is part of the
+        persisted catalog, so worker processes price plans identically.
+        """
+        if self._statistics is None:
+            self._statistics = Statistics.with_annotated_views(
+                self.summary,
+                ((entry.view, entry.candidate.pattern) for entry in self._entries),
+            )
+        return self._statistics
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path, include_extents: bool = False) -> None:
+        """Persist the catalog (summary, views, prototypes, indexes, stats).
+
+        The file is a versioned pickle; load it back with :meth:`load`.
+        View extents are stripped by default — rewriting only needs the view
+        *definitions*, and this is the snapshot parallel batch workers share
+        — pass ``include_extents=True`` to keep the materialised relations.
+        """
+        self.statistics()  # make sure the snapshot ships with the file
+        payload = {
+            "format": CATALOG_FORMAT_VERSION,
+            "catalog": self,
+        }
+        path = Path(path)
+        if include_extents:
+            path.write_bytes(pickle.dumps(payload))
+        else:
+            with view_extents_excluded():
+                path.write_bytes(pickle.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ViewCatalog":
+        """Load a catalog persisted with :meth:`save`.
+
+        Raises :class:`CatalogFormatError` on version mismatch or when the
+        file is not a catalog snapshot at all.
+        """
+        try:
+            payload = pickle.loads(Path(path).read_bytes())
+        except Exception as exc:
+            raise CatalogFormatError(f"cannot read catalog file {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "format" not in payload:
+            raise CatalogFormatError(f"{path} is not a persisted view catalog")
+        if payload["format"] != CATALOG_FORMAT_VERSION:
+            raise CatalogFormatError(
+                f"catalog format {payload['format']} unsupported "
+                f"(expected {CATALOG_FORMAT_VERSION})"
+            )
+        catalog = payload["catalog"]
+        if not isinstance(catalog, cls):
+            raise CatalogFormatError(f"{path} does not contain a ViewCatalog")
+        return catalog
 
     # ------------------------------------------------------------------ #
     # candidate generation

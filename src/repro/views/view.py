@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -11,7 +13,26 @@ from repro.patterns.pattern import TreePattern
 from repro.patterns.semantics import default_id_function, evaluate_pattern, pattern_schema
 from repro.xmltree.node import XMLDocument
 
-__all__ = ["IdScheme", "MaterializedView"]
+__all__ = ["IdScheme", "MaterializedView", "view_extents_excluded"]
+
+_exclude_extents: ContextVar[bool] = ContextVar("exclude_view_extents", default=False)
+
+
+@contextmanager
+def view_extents_excluded():
+    """Pickle views *without* their materialised extents inside this block.
+
+    Catalog snapshots shared with rewriting workers only need the view
+    definitions; shipping megabytes of rows (or content references into
+    whole documents) would defeat the point.  The flag rides a
+    :class:`~contextvars.ContextVar`, so concurrent picklers in other
+    threads are unaffected.
+    """
+    token = _exclude_extents.set(True)
+    try:
+        yield
+    finally:
+        _exclude_extents.reset(token)
 
 
 @dataclass(frozen=True)
@@ -102,6 +123,12 @@ class MaterializedView:
     def is_materialized(self) -> bool:
         """True iff the view has a materialised extent."""
         return self._relation is not None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        if _exclude_extents.get():
+            state["_relation"] = None
+        return state
 
     def schema(self):
         """The view's column list (computable without materialising)."""

@@ -202,3 +202,70 @@ class TestFusion:
         assert result is not None
         item = [n for n in result.pattern.nodes() if n.label == "item"][0]
         assert not item.optional
+
+
+class TestAttributePrefilter:
+    """Prop. 3.7 pre-filtering: skipped alignments, unchanged results."""
+
+    def _rewrite(self, summary, views, query, prefilter):
+        from repro.containment.core import clear_containment_cache
+        from repro.rewriting.algorithm import RewritingConfig, RewritingSearch
+        from repro.views.catalog import ViewCatalog
+
+        clear_containment_cache()
+        config = RewritingConfig(
+            max_rewritings=4, enable_attribute_prefilter=prefilter
+        )
+        search = RewritingSearch(
+            query, summary, views, config,
+            catalog=ViewCatalog(summary, views),
+        )
+        return search.run(), search.statistics
+
+    def test_prefilter_prunes_without_changing_results(self, store_summary):
+        views = [
+            MaterializedView(parse_pattern("site(//item[ID,V])", name="v_item")),
+            MaterializedView(parse_pattern("site(//item[ID])", name="v_item_id")),
+            MaterializedView(parse_pattern("site(//name[ID])", name="v_name_id")),
+        ]
+        query = parse_pattern("site(//item[ID,V])")
+        with_filter, stats_on = self._rewrite(store_summary, views, query, True)
+        without, stats_off = self._rewrite(store_summary, views, query, False)
+        def key(rewritings):
+            return [(r.views_used, r.is_union) for r in rewritings]
+
+        assert key(with_filter) == key(without)
+        # v_item_id / v_name_id cannot supply V; their alignments are skipped
+        assert stats_on.alignments_pruned > 0
+        assert stats_off.alignments_pruned == 0
+
+    def test_suppliers_back_the_feasibility_check(self, store_summary):
+        views = [
+            MaterializedView(parse_pattern("site(//name[ID])", name="v_name_id")),
+        ]
+        query = parse_pattern("site(//item[ID,V])")
+        rewritings, stats = self._rewrite(store_summary, views, query, True)
+        assert rewritings == []
+
+    def test_prefilter_keeps_attribute_pooling_joins(self, store_summary):
+        """Equality fusion pools attributes from both sides onto the
+        unified node, so a vA ⋈= vB candidate can supply {ID,V,L} although
+        neither view does alone.  A per-attribute-SET pre-filter wrongly
+        pruned exactly these candidates (regression: the only full
+        single-view supplier below fails containment because of its
+        predicate, so pruning the pooling join lost every rewriting)."""
+        views = [
+            MaterializedView(parse_pattern("site(//name[ID,V])", name="vA")),
+            MaterializedView(parse_pattern("site(//name[ID,L])", name="vB")),
+            MaterializedView(
+                parse_pattern('site(//name[ID,V,L]{v="pen"})', name="vC")
+            ),
+        ]
+        query = parse_pattern("site(//name[ID,V,L])")
+        with_filter, stats_on = self._rewrite(store_summary, views, query, True)
+        without, _ = self._rewrite(store_summary, views, query, False)
+        def key(rewritings):
+            return sorted((r.views_used, r.is_union) for r in rewritings)
+
+        assert with_filter, "the vA ⋈= vB rewriting must survive the pre-filter"
+        assert key(with_filter) == key(without)
