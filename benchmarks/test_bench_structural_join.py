@@ -1,0 +1,126 @@
+"""Structural-join scaling: staircase merge vs. the nested-loop oracle.
+
+Synthetic ancestor/descendant extents of growing size are joined through
+``PlanExecutor`` under both strategies.  The extents mimic what view scans
+actually deliver: Dewey-sorted ID columns (the sorted extent guarantee), one
+descendant per ancestor so the output stays linear and the measured gap is
+the join algorithm, not output materialisation.  The merge is also timed
+once with the sorted annotation stripped, to show the sort-then-merge
+fallback's position between the two.
+
+The nested loop is ``O(l × r)``: at 10k×10k it walks 10⁸ Dewey pairs, which
+is exactly the paper-scale regime where the seed executor and the cost
+model's pricing disagreed.  The benchmark asserts result identity at every
+size and a ≥ 5x merge speedup on the 10k×10k case, and writes all points to
+``bench-results/join_scaling.json`` (uploaded by the ``bench-smoke`` CI
+job).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.algebra.execution import PlanExecutor
+from repro.algebra.operators import StructuralJoin, ViewScan
+from repro.algebra.tuples import Column, Relation
+from repro.patterns.pattern import Axis
+from repro.xmltree.ids import DeweyID
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+SIZES = [1_000, 3_000, 10_000]
+ASSERT_AT = 10_000
+MIN_SPEEDUP = 5.0
+
+
+class _Extent:
+    def __init__(self, relation: Relation):
+        self.relation = relation
+
+
+def _extents(size: int) -> dict[str, _Extent]:
+    """``size`` ancestors ``1.i`` and ``size`` descendants ``1.i.1``."""
+    upper = Relation(
+        [Column("ID1", kind="ID")],
+        rows=[(DeweyID((1, i)),) for i in range(1, size + 1)],
+    ).mark_sorted_by("ID1")
+    lower = Relation(
+        [Column("ID1", kind="ID")],
+        rows=[(DeweyID((1, i, 1)),) for i in range(1, size + 1)],
+    ).mark_sorted_by("ID1")
+    return {"upper": _Extent(upper), "lower": _Extent(lower)}
+
+
+def _plan() -> StructuralJoin:
+    return StructuralJoin(
+        left=ViewScan("upper", alias="u"),
+        right=ViewScan("lower", alias="l"),
+        left_column="u.ID1",
+        right_column="l.ID1",
+        axis=Axis.DESCENDANT,
+    )
+
+
+def _timed(views, strategy: str) -> tuple[float, Relation]:
+    executor = PlanExecutor(views, structural_join_strategy=strategy)
+    start = time.perf_counter()
+    result = executor.execute(_plan())
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.benchmark(group="structural-join")
+def test_staircase_join_scaling():
+    points = []
+    for size in SIZES:
+        views = _extents(size)
+        merge_seconds, merge_result = _timed(views, "merge")
+
+        # the sort-then-merge fallback: same rows, annotation stripped
+        unsorted_views = _extents(size)
+        for extent in unsorted_views.values():
+            extent.relation.mark_sorted_by(None)
+        fallback_seconds, fallback_result = _timed(unsorted_views, "merge")
+
+        nested_seconds, nested_result = _timed(views, "nested-loop")
+
+        assert merge_result.same_contents(nested_result), (
+            f"merge result diverges from the oracle at size {size}"
+        )
+        assert fallback_result.same_contents(nested_result), (
+            f"sort-then-merge result diverges from the oracle at size {size}"
+        )
+        assert len(merge_result) == size  # one descendant per ancestor
+
+        speedup = nested_seconds / merge_seconds if merge_seconds else float("inf")
+        points.append(
+            {
+                "left_rows": size,
+                "right_rows": size,
+                "output_rows": len(merge_result),
+                "nested_loop_seconds": round(nested_seconds, 4),
+                "merge_seconds": round(merge_seconds, 4),
+                "sort_then_merge_seconds": round(fallback_seconds, 4),
+                "speedup": round(speedup, 2),
+            }
+        )
+        print(
+            f"\n  {size}x{size}: nested-loop {nested_seconds:.3f}s, "
+            f"merge {merge_seconds:.4f}s, sort+merge {fallback_seconds:.4f}s "
+            f"({speedup:.0f}x)"
+        )
+
+    payload = {"bench": "join_scaling", "points": points}
+    print(f"\nBENCH_JSON: {json.dumps(payload)}")
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "bench-results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "join_scaling.json").write_text(json.dumps(payload, indent=2))
+
+    largest = next(p for p in points if p["left_rows"] == ASSERT_AT)
+    assert largest["speedup"] >= MIN_SPEEDUP, (
+        f"staircase merge only {largest['speedup']}x faster than the nested "
+        f"loop on the {ASSERT_AT}x{ASSERT_AT} extents"
+    )

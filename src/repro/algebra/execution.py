@@ -8,6 +8,18 @@ the view's materialised :class:`~repro.algebra.tuples.Relation`).
 Structural joins compare Dewey identifiers, so they work on any view whose
 ID columns were materialised with the default structural ``fID``
 (Section 1, "Exploiting ID properties").
+
+Structural joins run as a *staircase* sort-merge: both inputs are brought
+into document order on their join columns (a no-op for view extents, which
+are materialised Dewey-sorted, and for merge-join outputs, which stay
+sorted on the descendant column) and merged in a single pass with a stack
+of open ancestors — the stack-tree algorithm of the structural-join
+literature, done on Dewey prefixes.  The cost is ``O(l + r + output)``
+plus whatever sorts are actually needed, which is what
+:class:`~repro.planning.cost.CostModel` now charges.  The seed's
+``O(l × r)`` nested loop survives behind
+``PlanExecutor(views, structural_join_strategy="nested-loop")`` as the
+debugging oracle the A/B tests compare against.
 """
 
 from __future__ import annotations
@@ -29,13 +41,16 @@ from repro.algebra.operators import (
     Unnest,
     ViewScan,
 )
-from repro.algebra.tuples import Column, Relation
-from repro.errors import PlanExecutionError
+from repro.algebra.tuples import Column, Relation, as_dewey
+from repro.errors import AlgebraError, PlanExecutionError
 from repro.patterns.pattern import Axis
 from repro.xmltree.ids import DeweyID
 from repro.xmltree.node import XMLNode
 
-__all__ = ["PlanExecutor"]
+__all__ = ["PlanExecutor", "STRUCTURAL_JOIN_STRATEGIES"]
+
+STRUCTURAL_JOIN_STRATEGIES = ("merge", "nested-loop")
+"""Accepted values for ``PlanExecutor(..., structural_join_strategy=...)``."""
 
 
 class PlanExecutor:
@@ -50,10 +65,44 @@ class PlanExecutor:
     charges.  Operators never mutate their inputs (every operator builds a
     fresh output relation), so sharing results is safe; create a fresh
     executor after re-materialising views.
+
+    Parameters
+    ----------
+    views:
+        Mapping from view name to an object exposing ``relation``.
+    structural_join_strategy:
+        ``"merge"`` (default) runs ``⋈≺`` / ``⋈≺≺`` as the single-pass
+        staircase sort-merge; ``"nested-loop"`` keeps the seed's ``O(l×r)``
+        pair loop as a debugging / oracle path.  Results are identical.
+
+    Example
+    -------
+    >>> from repro import MaterializedView, parse_parenthesized, parse_pattern
+    >>> from repro.algebra.operators import ViewScan
+    >>> doc = parse_parenthesized('site(item(name="pen") item(name="ink"))')
+    >>> view = MaterializedView(parse_pattern("site(//item[ID,V])", name="v"), doc)
+    >>> executor = PlanExecutor({"v": view})
+    >>> result = executor.execute(ViewScan("v"))
+    >>> result.column_names
+    ['v.ID1', 'v.V1']
+    >>> len(result)
+    2
+    >>> result.sorted_by  # extents arrive in document order
+    'v.ID1'
     """
 
-    def __init__(self, views: Mapping[str, object]):
+    def __init__(
+        self,
+        views: Mapping[str, object],
+        structural_join_strategy: str = "merge",
+    ):
+        if structural_join_strategy not in STRUCTURAL_JOIN_STRATEGIES:
+            raise PlanExecutionError(
+                f"unknown structural join strategy {structural_join_strategy!r}; "
+                f"expected one of {STRUCTURAL_JOIN_STRATEGIES}"
+            )
         self._views = views
+        self._merge_joins = structural_join_strategy == "merge"
         # id() -> (operator, result); the operator reference keeps the id alive
         self._memo: dict[int, tuple[PlanOperator, Relation]] = {}
 
@@ -108,6 +157,10 @@ class PlanExecutor:
             [column.renamed(f"{alias}.{column.name}") for column in relation.columns]
         )
         qualified.rows = list(relation.rows)
+        if relation.sorted_by is not None:
+            # extents are materialised in document order; the annotation
+            # survives qualification so downstream merges skip their sort
+            qualified.sorted_by = f"{alias}.{relation.sorted_by}"
         return qualified
 
     # ------------------------------------------------------------------ #
@@ -115,15 +168,10 @@ class PlanExecutor:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _as_dewey(value) -> Optional[DeweyID]:
-        if value is None:
-            return None
-        if isinstance(value, DeweyID):
-            return value
-        if isinstance(value, XMLNode):
-            return value.dewey
-        if isinstance(value, str):
-            return DeweyID.from_string(value)
-        raise PlanExecutionError(f"value {value!r} is not a structural identifier")
+        try:
+            return as_dewey(value)
+        except AlgebraError as exc:
+            raise PlanExecutionError(str(exc)) from exc
 
     def _execute_id_join(self, plan: IdEqualityJoin) -> Relation:
         left = self.execute(plan.left)
@@ -142,6 +190,7 @@ class PlanExecutor:
                 continue
             for right_row in by_id.get(str(identifier), ()):
                 result.rows.append(left_row + right_row)
+        result.sorted_by = left.sorted_by  # probe order is left order
         return result
 
     def _structural_match(self, upper, lower, axis: Axis) -> bool:
@@ -153,18 +202,115 @@ class PlanExecutor:
             return upper_id.is_parent_of(lower_id)
         return upper_id.is_ancestor_of(lower_id)
 
+    # -------------------------- staircase machinery -------------------- #
+    def _dewey_sorted(
+        self, relation: Relation, column: str
+    ) -> list[tuple[DeweyID, tuple]]:
+        """``(identifier, row)`` pairs in document order, nulls dropped.
+
+        Rows whose join value is ``⊥`` can never satisfy a structural
+        predicate (the nested-loop oracle rejects them row by row); the
+        merge drops them up front.  When the relation is not annotated as
+        sorted on ``column``, the pairs are sorted here — the sort-then-
+        merge fallback the cost model charges for.
+        """
+        index = relation.column_index(column)
+        pairs = []
+        for row in relation.rows:
+            identifier = self._as_dewey(row[index])
+            if identifier is not None:
+                pairs.append((identifier, row))
+        if not relation.is_sorted_by(column):
+            pairs.sort(key=lambda pair: pair[0].components)
+        return pairs
+
+    @staticmethod
+    def _group_by_id(
+        pairs: list[tuple[DeweyID, tuple]]
+    ) -> list[tuple[DeweyID, list[tuple]]]:
+        """Collapse document-ordered pairs into per-identifier row groups."""
+        groups: list[tuple[DeweyID, list[tuple]]] = []
+        for identifier, row in pairs:
+            if groups and groups[-1][0] == identifier:
+                groups[-1][1].append(row)
+            else:
+                groups.append((identifier, [row]))
+        return groups
+
+    def _staircase_sweep(
+        self,
+        ancestors: list[tuple[DeweyID, list[tuple]]],
+        descendants: list[tuple[DeweyID, tuple]],
+        axis: Axis,
+        emit,
+    ) -> None:
+        """One merge pass over both document-ordered inputs.
+
+        ``ancestors`` holds the upper side grouped by identifier,
+        ``descendants`` the lower side row by row.  For every descendant,
+        ``emit(group_index, descendant_row)`` is called once per matching
+        ancestor group.  The stack holds the currently *open* ancestor
+        groups — those whose subtree interval contains the sweep position —
+        as ``(identifier, group_index)``; Dewey order equals document order
+        and subtrees are contiguous intervals, so a group popped because the
+        sweep left its subtree can never match a later descendant.
+        """
+        stack: list[tuple[DeweyID, int]] = []
+        next_group = 0
+        for lower_id, lower_row in descendants:
+            while next_group < len(ancestors) and not (
+                lower_id < ancestors[next_group][0]
+            ):
+                upper_id = ancestors[next_group][0]
+                while stack and not stack[-1][0].is_ancestor_of(upper_id):
+                    stack.pop()
+                stack.append((upper_id, next_group))
+                next_group += 1
+            while stack and not stack[-1][0].is_ancestor_or_self_of(lower_id):
+                stack.pop()
+            if not stack:
+                continue
+            # every open group strictly above an equal top matches; an equal
+            # top itself never does (ancestry is strict)
+            top = len(stack) - (1 if stack[-1][0] == lower_id else 0)
+            if axis is Axis.CHILD:
+                target_depth = lower_id.depth - 1
+                for position in range(top - 1, -1, -1):
+                    upper_id, group_index = stack[position]
+                    if upper_id.depth == target_depth:
+                        emit(group_index, lower_row)
+                        break
+                    if upper_id.depth < target_depth:
+                        break
+            else:
+                for position in range(top):
+                    emit(stack[position][1], lower_row)
+
     def _execute_structural_join(self, plan: StructuralJoin) -> Relation:
         left = self.execute(plan.left)
         right = self.execute(plan.right)
         left_index = left.column_index(plan.left_column)
         right_index = right.column_index(plan.right_column)
         result = left.natural_concat(right)
-        for left_row in left.rows:
-            for right_row in right.rows:
-                if self._structural_match(
-                    left_row[left_index], right_row[right_index], plan.axis
-                ):
-                    result.rows.append(left_row + right_row)
+        if not self._merge_joins:
+            for left_row in left.rows:
+                for right_row in right.rows:
+                    if self._structural_match(
+                        left_row[left_index], right_row[right_index], plan.axis
+                    ):
+                        result.rows.append(left_row + right_row)
+            return result
+        ancestors = self._group_by_id(self._dewey_sorted(left, plan.left_column))
+        descendants = self._dewey_sorted(right, plan.right_column)
+        rows = result.rows
+
+        def emit(group_index: int, lower_row: tuple) -> None:
+            for upper_row in ancestors[group_index][1]:
+                rows.append(upper_row + lower_row)
+
+        self._staircase_sweep(ancestors, descendants, plan.axis, emit)
+        # output is produced in descendant document order
+        result.sorted_by = plan.right_column
         return result
 
     def _execute_nested_structural_join(self, plan: NestedStructuralJoin) -> Relation:
@@ -174,18 +320,43 @@ class PlanExecutor:
         right_index = right.column_index(plan.right_column)
         nested_schema = list(right.columns)
         result = Relation(list(left.columns) + [Column(plan.group_column, kind="NESTED")])
-        for left_row in left.rows:
-            matches = [
-                right_row
-                for right_row in right.rows
-                if self._structural_match(
-                    left_row[left_index], right_row[right_index], plan.axis
-                )
-            ]
+        if not self._merge_joins:
+            for left_row in left.rows:
+                matches = [
+                    right_row
+                    for right_row in right.rows
+                    if self._structural_match(
+                        left_row[left_index], right_row[right_index], plan.axis
+                    )
+                ]
+                if not matches and not plan.keep_unmatched:
+                    continue
+                nested = Relation(nested_schema, rows=matches)
+                result.rows.append(left_row + (nested,))
+            return result
+        ancestors = self._group_by_id(self._dewey_sorted(left, plan.left_column))
+        descendants = self._dewey_sorted(right, plan.right_column)
+        matches_per_group: list[list[tuple]] = [[] for _ in ancestors]
+
+        def emit(group_index: int, lower_row: tuple) -> None:
+            matches_per_group[group_index].append(lower_row)
+
+        self._staircase_sweep(ancestors, descendants, plan.axis, emit)
+        for (_identifier, upper_rows), matches in zip(ancestors, matches_per_group):
             if not matches and not plan.keep_unmatched:
                 continue
-            nested = Relation(nested_schema, rows=matches)
-            result.rows.append(left_row + (nested,))
+            for upper_row in upper_rows:
+                nested = Relation(nested_schema, rows=matches)
+                result.rows.append(upper_row + (nested,))
+        if plan.keep_unmatched:
+            # left rows with a ⊥ join value never match anything; the oracle
+            # keeps them with an empty group, so the merge does too
+            for left_row in left.rows:
+                if self._as_dewey(left_row[left_index]) is None:
+                    result.rows.append(left_row + (Relation(nested_schema),))
+        # output is produced in ancestor document order (the annotation only
+        # speaks about non-null identifiers, so trailing ⊥ rows are fine)
+        result.sorted_by = plan.left_column
         return result
 
     # ------------------------------------------------------------------ #
@@ -202,6 +373,8 @@ class PlanExecutor:
         child = self.execute(plan.child)
         index = child.column_index(plan.nested_column)
         result = Relation(child.columns)
+        if child.sorted_by != plan.nested_column:
+            result.sorted_by = child.sorted_by  # outer rows keep their order
         for row in child.rows:
             value = row[index]
             if isinstance(value, Relation):
@@ -216,6 +389,7 @@ class PlanExecutor:
         child = self.execute(plan.child)
         index = child.column_index(plan.column)
         result = Relation(child.columns)
+        result.sorted_by = child.sorted_by  # a subset in order stays in order
         for row in child.rows:
             value = row[index]
             if isinstance(value, XMLNode):
@@ -237,6 +411,9 @@ class PlanExecutor:
             nested_columns = []
         outer_columns = [c for i, c in enumerate(child.columns) if i != index]
         result = Relation(outer_columns + nested_columns)
+        if child.sorted_by != plan.nested_column:
+            # outer rows expand in place, so non-decreasing order survives
+            result.sorted_by = child.sorted_by
         for row in child.rows:
             outer = tuple(v for i, v in enumerate(row) if i != index)
             nested = row[index]
@@ -257,6 +434,9 @@ class PlanExecutor:
             [child.columns[i] for i in key_indexes]
             + [Column(plan.group_column, kind="NESTED")]
         )
+        if child.sorted_by in plan.key_columns:
+            # groups are emitted in first-appearance order of their keys
+            result.sorted_by = child.sorted_by
         groups: dict[tuple, list[tuple]] = {}
         order: list[tuple] = []
         for row in child.rows:
@@ -279,6 +459,7 @@ class PlanExecutor:
         result = Relation(
             list(child.columns) + [Column(plan.new_column, kind=plan.attribute)]
         )
+        result.sorted_by = child.sorted_by  # rows expand in place
         for row in child.rows:
             content = row[index]
             matches = self._navigate(content, list(plan.steps))
@@ -318,6 +499,7 @@ class PlanExecutor:
         child = self.execute(plan.child)
         index = child.column_index(plan.id_column)
         result = Relation(list(child.columns) + [Column(plan.new_column, kind="ID")])
+        result.sorted_by = child.sorted_by  # one output row per input row
         for row in child.rows:
             identifier = self._as_dewey(row[index])
             derived = None

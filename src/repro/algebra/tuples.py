@@ -13,6 +13,16 @@ are all :class:`Relation` instances: a schema (ordered list of
 
 Relations compare *as sets*: pattern semantics is set-based, and the paper's
 equivalence notion (``≡S``) ignores duplicates and row order.
+
+Row order is nevertheless tracked as a *physical* property: a relation may
+carry a ``sorted_by`` annotation naming one ID column whose values appear in
+document order (Dewey order, which for :class:`~repro.xmltree.ids.DeweyID`
+is plain tuple order).  Materialised view extents are produced with this
+guarantee, and the staircase merge join in
+:mod:`repro.algebra.execution` consumes it to join in a single pass instead
+of a nested loop.  The annotation never affects comparisons (``to_set`` /
+``same_contents`` stay order-blind); it only tells the executor which sorts
+it may skip.
 """
 
 from __future__ import annotations
@@ -24,7 +34,27 @@ from repro.errors import AlgebraError
 from repro.xmltree.ids import DeweyID
 from repro.xmltree.node import XMLNode
 
-__all__ = ["Column", "Relation"]
+__all__ = ["Column", "Relation", "as_dewey"]
+
+
+def as_dewey(value) -> Optional[DeweyID]:
+    """Coerce a cell value to a :class:`DeweyID` (``None`` stays ``None``).
+
+    ID columns may physically hold :class:`DeweyID` objects, whole
+    :class:`~repro.xmltree.node.XMLNode` references (whose identifier is
+    taken) or dotted strings such as ``"1.3.2"`` — all three occur in
+    materialised extents depending on the ``fID`` used.  Anything else is
+    not a structural identifier and raises :class:`AlgebraError`.
+    """
+    if value is None:
+        return None
+    if isinstance(value, DeweyID):
+        return value
+    if isinstance(value, XMLNode):
+        return value.dewey
+    if isinstance(value, str):
+        return DeweyID.from_string(value)
+    raise AlgebraError(f"value {value!r} is not a structural identifier")
 
 
 @dataclass(frozen=True)
@@ -65,6 +95,17 @@ class Relation:
         if len(set(names)) != len(names):
             raise AlgebraError(f"duplicate column names: {names}")
         self.rows: list[tuple] = []
+        self.sorted_by: Optional[str] = None
+        """Name of the ID column the rows are Dewey-sorted on, if any.
+
+        The contract covers *non-null* identifiers only: reading just the
+        rows whose value in this column is not ``⊥`` yields identifiers in
+        non-decreasing document order (nulls may sit anywhere).  Purely
+        physical: set by document-order producers (view extents, the merge
+        join) and consumed by the merge join to skip its sort phase.
+        Operators that cannot cheaply prove order preservation drop it —
+        a missing annotation is always safe, a wrong one never is.
+        """
         if rows is not None:
             for row in rows:
                 self.append(row)
@@ -125,6 +166,45 @@ class Relation:
             self.append(row)
 
     # ------------------------------------------------------------------ #
+    # document order
+    # ------------------------------------------------------------------ #
+    def is_sorted_by(self, name: str) -> bool:
+        """True iff the rows are known to be Dewey-sorted on column ``name``."""
+        return self.sorted_by == name
+
+    def mark_sorted_by(self, name: Optional[str]) -> "Relation":
+        """Record (or clear, with ``None``) the Dewey-sort annotation.
+
+        The caller asserts the physical order; the column must exist.
+        Returns ``self`` for chaining.
+        """
+        if name is not None:
+            self.column_index(name)  # raises on unknown columns
+        self.sorted_by = name
+        return self
+
+    def sorted_in_dewey_order(self, name: str) -> "Relation":
+        """A copy of this relation sorted in document order on column ``name``.
+
+        Rows are ordered by the column's Dewey identifier (tuple order ==
+        document order); rows whose identifier is null (``⊥``) sort first,
+        before every real identifier.  The copy carries the ``sorted_by``
+        annotation.  Already-sorted relations return themselves unchanged.
+        """
+        if self.is_sorted_by(name):
+            return self
+        index = self.column_index(name)
+
+        def key(row):
+            identifier = as_dewey(row[index])
+            return (0, ()) if identifier is None else (1, identifier.components)
+
+        result = Relation(self.columns)
+        result.rows = sorted(self.rows, key=key)
+        result.sorted_by = name
+        return result
+
+    # ------------------------------------------------------------------ #
     # relational operations (used by the executor)
     # ------------------------------------------------------------------ #
     def project(self, names: Sequence[str]) -> "Relation":
@@ -138,6 +218,10 @@ class Relation:
             if key not in seen:
                 seen.add(key)
                 result.rows.append(projected)
+        if self.sorted_by in names:
+            # duplicate elimination keeps first occurrences in order, so a
+            # surviving sort column stays sorted
+            result.sorted_by = self.sorted_by
         return result
 
     def select(self, predicate: Callable[[dict], bool]) -> "Relation":
@@ -146,6 +230,7 @@ class Relation:
         for row in self.rows:
             if predicate(dict(zip(self.column_names, row))):
                 result.rows.append(row)
+        result.sorted_by = self.sorted_by  # a subset in order stays in order
         return result
 
     def rename(self, mapping: dict[str, str]) -> "Relation":
@@ -156,6 +241,8 @@ class Relation:
         ]
         result = Relation(new_columns)
         result.rows = list(self.rows)
+        if self.sorted_by is not None:
+            result.sorted_by = mapping.get(self.sorted_by, self.sorted_by)
         return result
 
     def natural_concat(self, other: "Relation") -> "Relation":
@@ -194,7 +281,7 @@ class Relation:
         return result
 
     def distinct(self) -> "Relation":
-        """Duplicate elimination."""
+        """Duplicate elimination (keeps first occurrences, preserving order)."""
         result = Relation(self.columns)
         seen = set()
         for row in self.rows:
@@ -202,6 +289,7 @@ class Relation:
             if key not in seen:
                 seen.add(key)
                 result.rows.append(row)
+        result.sorted_by = self.sorted_by
         return result
 
     # ------------------------------------------------------------------ #

@@ -9,7 +9,11 @@ interpreter in :mod:`repro.algebra.execution` actually does:
 * scans stream their extent (cost ∝ rows),
 * ``⋈=`` builds a hash table on one side and probes with the other
   (cost ∝ left + right + output),
-* structural joins are nested loops over Dewey IDs (cost ∝ left × right),
+* structural joins run as the staircase sort-merge on Dewey order
+  (cost ∝ left + right + output when both inputs arrive Dewey-sorted on
+  their join columns; an explicit ``n·log₂ n`` sort term is charged per
+  unsorted input — :func:`plan_sorted_on` mirrors the executor's
+  order-propagation rules to decide which inputs those are),
 * unary operators stream their input once.
 
 Costs are cumulative over the plan *DAG*: a sub-plan shared by two parents
@@ -21,22 +25,96 @@ monotonicity the planner's ranking (and its tests) rely on.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.algebra.operators import (
     ContentNavigation,
+    GroupBy,
     IdEqualityJoin,
+    NestedProjection,
     NestedStructuralJoin,
+    ParentIdDerivation,
     PlanOperator,
+    Projection,
+    Selection,
     StructuralJoin,
     UnionPlan,
+    Unnest,
+    ViewScan,
 )
 from repro.patterns.pattern import Axis
 from repro.patterns.predicates import ValueFormula
 from repro.summary.statistics import Statistics
 
-__all__ = ["CostModel", "OperatorEstimate"]
+__all__ = ["CostModel", "OperatorEstimate", "plan_sorted_on"]
+
+
+def plan_sorted_on(
+    operator: PlanOperator,
+    column: str,
+    statistics: Optional[Statistics] = None,
+) -> bool:
+    """Will ``operator``'s output be Dewey-sorted on ``column``?
+
+    A static mirror of the order-propagation rules the executor applies at
+    run time (``Relation.sorted_by``), so the cost model can decide which
+    staircase inputs need an explicit sort without executing anything:
+
+    * ``ViewScan`` emits its extent in document order of the view's first
+      ``ID`` column (the sorted extent guarantee) — the statistics record
+      which column that is per view; without statistics the conventional
+      first ID column name (``ID1``…) is assumed for ``ID``-prefixed
+      columns, which can only mis-price, never mis-execute;
+    * ``StructuralJoin`` emits descendant order, ``NestedStructuralJoin``
+      and ``IdEqualityJoin`` preserve their left input's order;
+    * ``Selection`` / ``Projection`` (column kept) / ``Unnest`` /
+      ``ContentNavigation`` / ``ParentIdDerivation`` preserve order;
+    * everything else (unions above all) is treated as unsorted.
+    """
+    if isinstance(operator, ViewScan):
+        alias_prefix = f"{operator.effective_alias}."
+        if not column.startswith(alias_prefix):
+            return False
+        base = column[len(alias_prefix):]
+        if statistics is not None:
+            recorded = statistics.view_sorted_column(operator.view_name)
+            if recorded is not None:
+                return base == recorded
+        # statistics-free fallback: only the conventional first-ID-column
+        # name — the guarantee covers the *first* ID column only, and
+        # under-claiming merely over-prices (a sort term), never the reverse
+        return base == "ID1"
+    if isinstance(operator, StructuralJoin):
+        return column == operator.right_column
+    if isinstance(operator, NestedStructuralJoin):
+        return column == operator.left_column
+    if isinstance(operator, IdEqualityJoin):
+        return plan_sorted_on(operator.left, column, statistics)
+    if isinstance(operator, Selection):
+        return plan_sorted_on(operator.child, column, statistics)
+    if isinstance(operator, Projection):
+        renames = dict(operator.renames or {})
+        original = next(
+            (old for old, new in renames.items() if new == column), column
+        )
+        if original not in operator.columns:
+            return False
+        return plan_sorted_on(operator.child, original, statistics)
+    if isinstance(operator, (Unnest, NestedProjection)):
+        if column == operator.nested_column:
+            return False
+        return plan_sorted_on(operator.child, column, statistics)
+    if isinstance(operator, GroupBy):
+        if column not in operator.key_columns:
+            return False
+        return plan_sorted_on(operator.child, column, statistics)
+    if isinstance(operator, (ContentNavigation, ParentIdDerivation)):
+        if column == operator.new_column:
+            return False
+        return plan_sorted_on(operator.child, column, statistics)
+    return False
 
 
 @dataclass(frozen=True)
@@ -75,6 +153,10 @@ class CostModel:
 
     equality_selection_selectivity = 0.1
     """Selectivity of an equality selection ``σ v=c``."""
+
+    sort_cost_factor = 1.0
+    """Per-comparison weight of the ``n·log₂(n)`` sort charged on each
+    structural-join input that does not arrive Dewey-sorted."""
 
     def __init__(self, statistics: Optional[Statistics] = None):
         self.statistics = statistics
@@ -124,6 +206,10 @@ class CostModel:
     # ------------------------------------------------------------------ #
     # operator work
     # ------------------------------------------------------------------ #
+    def sort_cost(self, rows: float) -> float:
+        """Cost of Dewey-sorting ``rows`` rows (the merge-join fallback)."""
+        return self.sort_cost_factor * rows * math.log2(rows + 2.0)
+
     def operator_cost(
         self,
         operator: PlanOperator,
@@ -134,8 +220,16 @@ class CostModel:
         if isinstance(operator, IdEqualityJoin):
             work = child_rows[0] + child_rows[1] + output_rows
         elif isinstance(operator, (StructuralJoin, NestedStructuralJoin)):
-            # the executor's structural joins are nested loops
-            work = child_rows[0] * child_rows[1] + output_rows
+            # the staircase merge join: one pass over both sorted inputs
+            # plus the output, with an explicit sort charged per input the
+            # static order analysis cannot prove Dewey-sorted
+            work = child_rows[0] + child_rows[1] + output_rows
+            if not plan_sorted_on(operator.left, operator.left_column, self.statistics):
+                work += self.sort_cost(child_rows[0])
+            if not plan_sorted_on(
+                operator.right, operator.right_column, self.statistics
+            ):
+                work += self.sort_cost(child_rows[1])
         elif isinstance(operator, ContentNavigation):
             # navigating inside stored content walks the fragment per row
             work = child_rows[0] * (1.0 + len(operator.steps)) + output_rows

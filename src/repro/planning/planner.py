@@ -115,6 +115,19 @@ class Planner:
         statistics snapshot when no explicit ``cost_model`` is given.
     cost_model:
         Optional cost model override (e.g. with hand-built statistics).
+
+    Example
+    -------
+    >>> from repro import MaterializedView, Rewriter, build_summary
+    >>> from repro import parse_parenthesized, parse_pattern
+    >>> doc = parse_parenthesized('site(item(name="pen") item(name="ink"))')
+    >>> views = [MaterializedView(parse_pattern("site(//item[ID,V])", name="v"), doc)]
+    >>> planner = Planner(Rewriter(build_summary(doc), views))
+    >>> best = planner.best_plan(parse_pattern("site(//item[ID,V])", name="q"))
+    >>> best.rank, best.cost > 0
+    (0, True)
+    >>> len(planner.execute(best))
+    2
     """
 
     def __init__(

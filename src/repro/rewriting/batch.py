@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence
@@ -47,6 +48,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rewriting.rewriter import Rewriter, RewriteOutcome
 
 __all__ = ["BatchEngine", "resolve_worker_count"]
+
+
+def _remove_quietly(name: str) -> None:
+    """Finalizer for engine-owned snapshot files (missing files are fine)."""
+    try:
+        os.unlink(name)
+    except OSError:
+        pass
 
 
 def resolve_worker_count(workers: Optional[int]) -> int:
@@ -117,13 +126,38 @@ class BatchEngine:
     workers:
         Worker process count; ``None`` or ``0`` mean one per CPU core.
     catalog_path:
-        Where to persist the shared catalog snapshot.  A temporary file is
-        used (and removed afterwards) when omitted; pass an explicit path to
-        keep the snapshot for later runs or other processes.
+        Where to persist the shared catalog snapshot.  A temporary file
+        owned by the engine is used when omitted (removed when the engine is
+        garbage-collected); pass an explicit path to keep the snapshot for
+        later runs or other processes.
+
+    The snapshot is *reused across runs*: each save is keyed on the view
+    set's ``version`` counter, so repeated :meth:`run` calls against an
+    unchanged view set pay the (potentially large) ``ViewCatalog.save``
+    exactly once — the fixed-cost amortisation ``Rewriter.rewrite_many``
+    relies on when it caches its engine.  Mutating the view set bumps the
+    version, which both rebuilds the rewriter's catalog and forces a fresh
+    snapshot here.
 
     A rewriter constructed with ``use_catalog=False`` has no snapshot to
     share, so :meth:`run` degrades to the sequential loop regardless of
     ``workers`` (results are identical; only wall-clock differs).
+
+    Example
+    -------
+    Sequential engines (one worker) skip the snapshot and the pool
+    entirely, so this runs everywhere, fast:
+
+    >>> from repro import MaterializedView, build_summary, parse_parenthesized
+    >>> from repro import parse_pattern
+    >>> from repro.rewriting.rewriter import Rewriter
+    >>> doc = parse_parenthesized('site(item(name="pen") item(name="ink"))')
+    >>> views = [MaterializedView(parse_pattern("site(//item[ID,V])", name="v"), doc)]
+    >>> rewriter = Rewriter(build_summary(doc), views)
+    >>> engine = BatchEngine(rewriter, workers=1)
+    >>> outcomes = engine.run([parse_pattern("site(//item[ID,V])", name="q")])
+    >>> [outcome.found for outcome in outcomes]
+    [True]
     """
 
     def __init__(
@@ -135,8 +169,34 @@ class BatchEngine:
         self.rewriter = rewriter
         self.workers = resolve_worker_count(workers)
         self.catalog_path = Path(catalog_path) if catalog_path is not None else None
+        self._owned_path: Optional[Path] = None
+        self._snapshot_version: Optional[int] = None
 
     # ------------------------------------------------------------------ #
+    def _snapshot_path(self) -> Path:
+        """The snapshot file this engine writes to (creating it if owned)."""
+        if self.catalog_path is not None:
+            return self.catalog_path
+        if self._owned_path is None:
+            handle, name = tempfile.mkstemp(prefix="viewcatalog-", suffix=".pkl")
+            os.close(handle)
+            self._owned_path = Path(name)
+            weakref.finalize(self, _remove_quietly, name)
+        return self._owned_path
+
+    def _ensure_snapshot(self, path: Path) -> None:
+        """Save the catalog snapshot unless the saved one is still current.
+
+        Currency is keyed on ``views.version`` (the same counter that
+        invalidates the rewriter's in-memory catalog), so the second and
+        later runs over an unmutated view set skip the save entirely.
+        """
+        version = self.rewriter.views.version
+        if self._snapshot_version == version and path.exists():
+            return
+        self.rewriter.catalog.save(path)
+        self._snapshot_version = version
+
     def run(
         self,
         queries: Sequence[TreePattern],
@@ -157,36 +217,26 @@ class BatchEngine:
 
         indexed = list(enumerate(queries))
         shards = [indexed[shard::workers] for shard in range(workers)]
-        cleanup = self.catalog_path is None
-        if self.catalog_path is None:
-            handle, name = tempfile.mkstemp(prefix="viewcatalog-", suffix=".pkl")
-            os.close(handle)
-            path = Path(name)
-        else:
-            path = self.catalog_path
+        path = self._snapshot_path()
         from repro.canonical.model import canonical_model_cache
         from repro.containment.core import containment_cache
 
-        try:
-            catalog.save(path)
-            by_index: dict[int, "RewriteOutcome"] = {}
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_worker_init,
-                initargs=(
-                    str(path),
-                    config,
-                    containment_cache().enabled,
-                    canonical_model_cache().enabled,
-                ),
-            ) as pool:
-                for outcomes, delta in pool.map(_worker_run, shards):
-                    for index, outcome in outcomes:
-                        by_index[index] = outcome
-                    merge_containment_delta(self.rewriter.summary, delta)
-        finally:
-            if cleanup:
-                path.unlink(missing_ok=True)
+        self._ensure_snapshot(path)
+        by_index: dict[int, "RewriteOutcome"] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(
+                str(path),
+                config,
+                containment_cache().enabled,
+                canonical_model_cache().enabled,
+            ),
+        ) as pool:
+            for outcomes, delta in pool.map(_worker_run, shards):
+                for index, outcome in outcomes:
+                    by_index[index] = outcome
+                merge_containment_delta(self.rewriter.summary, delta)
 
         results = []
         for index, query in enumerate(queries):

@@ -22,7 +22,7 @@ defined (and still ranks plans by shape).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.summary.dataguide import Summary, build_summary
 from repro.xmltree.node import XMLDocument
@@ -128,6 +128,7 @@ class Statistics:
         )
         self._view_rows: dict[str, float] = {}
         self._view_exact: dict[str, bool] = {}
+        self._view_sorted: dict[str, Optional[str]] = {}
         for view in views:
             self.observe_view(view)
 
@@ -192,6 +193,7 @@ class Statistics:
                     statistics.estimate_pattern_rows(pattern),
                     exact=False,
                 )
+                statistics._view_sorted[view.name] = view.dewey_sort_column()
         return statistics
 
     def observe_view(self, view: "MaterializedView") -> None:
@@ -204,16 +206,30 @@ class Statistics:
         if view.is_materialized:
             self._view_rows[view.name] = float(max(len(view.relation), 1))
             self._view_exact[view.name] = True
+            self._view_sorted[view.name] = view.relation.sorted_by
         else:
             from repro.canonical.model import annotate_paths
 
             pattern = annotate_paths(view.pattern.copy(), self._summary)
             self._view_rows[view.name] = self.estimate_pattern_rows(pattern)
             self._view_exact[view.name] = False
+            self._view_sorted[view.name] = view.dewey_sort_column()
 
     def view_rows(self, name: str) -> float:
         """Extent size of the named view (1.0 when entirely unknown)."""
         return self._view_rows.get(name, 1.0)
+
+    def view_sorted_column(self, name: str) -> Optional[str]:
+        """The column the named view's extent is Dewey-sorted on, if any.
+
+        Exact for observed views (materialised extents report their actual
+        ``sorted_by`` annotation; unmaterialised ones their declared
+        :meth:`~repro.views.view.MaterializedView.dewey_sort_column`);
+        ``None`` for unknown views — the cost model then falls back to the
+        first-ID-column naming convention.  ``getattr`` guards statistics
+        unpickled from snapshots written before this field existed.
+        """
+        return getattr(self, "_view_sorted", {}).get(name)
 
     def view_rows_exact(self, name: str) -> bool:
         """True iff :meth:`view_rows` reports a materialised row count."""

@@ -119,6 +119,21 @@ class ViewCatalog:
     index:
         An optional pre-built :class:`SummaryIndex` to share; one is built
         from ``summary`` when omitted.
+
+    Example
+    -------
+    >>> from repro import MaterializedView, build_summary, parse_parenthesized
+    >>> from repro import parse_pattern
+    >>> doc = parse_parenthesized('site(item(name="pen") item(name="ink"))')
+    >>> summary = build_summary(doc)
+    >>> views = [MaterializedView(parse_pattern("site(//item[ID,V])", name="v"), doc)]
+    >>> catalog = ViewCatalog(summary, views)
+    >>> len(catalog)
+    1
+    >>> [view.name for view in catalog.views_with_root_label("site")]
+    ['v']
+    >>> catalog.statistics().view_rows("v")
+    2.0
     """
 
     def __init__(

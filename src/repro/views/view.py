@@ -103,11 +103,43 @@ class MaterializedView:
             self.materialize(document)
 
     # ------------------------------------------------------------------ #
+    def dewey_sort_column(self) -> Optional[str]:
+        """The column the extent is kept Dewey-sorted on, if any.
+
+        The first ``ID`` column of the schema, when the identifier scheme is
+        structural (Dewey / ORDPATH): its identifiers order the extent in
+        document order, which is the precondition for the staircase merge
+        join (the *sorted extent guarantee* relied on by
+        :class:`~repro.algebra.execution.PlanExecutor` scans).  Opaque
+        identifier schemes carry no order, so they return ``None``.
+        """
+        if not self.id_scheme.structural:
+            return None
+        for column in self.schema():
+            if column.kind == "ID":
+                return column.name
+        return None
+
     def materialize(self, document: XMLDocument) -> Relation:
-        """(Re)compute the view extent over ``document`` and return it."""
-        self._relation = evaluate_pattern(
+        """(Re)compute the view extent over ``document`` and return it.
+
+        Extents are stored in document order of the view's first ``ID``
+        column (when the ID scheme is structural), annotated via
+        ``Relation.sorted_by`` — scans then feed the staircase merge join
+        without any run-time sort.  Custom ``fID`` functions producing
+        values that are not Dewey-coercible leave the extent unsorted
+        (the merge join falls back to sort-then-merge, results unchanged).
+        """
+        relation = evaluate_pattern(
             self.pattern, document, id_function=self._id_function
         )
+        column = self.dewey_sort_column()
+        if column is not None:
+            try:
+                relation = relation.sorted_in_dewey_order(column)
+            except ReproError:
+                pass  # non-Dewey fID under a structural scheme: keep unsorted
+        self._relation = relation
         return self._relation
 
     @property

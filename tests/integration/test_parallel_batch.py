@@ -84,6 +84,32 @@ def test_explicit_catalog_path_is_reused(workload, tmp_path):
     assert path.exists(), "an explicit snapshot path must be kept for reuse"
 
 
+def test_snapshot_is_reused_across_runs(workload, monkeypatch):
+    """The second batch over an unchanged view set must not re-save."""
+    from repro.views.catalog import ViewCatalog
+
+    summary, views, queries, config = workload
+    rewriter = Rewriter(summary, views, config)
+    saves = []
+    original_save = ViewCatalog.save
+
+    def counting_save(self, path, include_extents=False):
+        saves.append(str(path))
+        return original_save(self, path, include_extents=include_extents)
+
+    monkeypatch.setattr(ViewCatalog, "save", counting_save)
+    first = rewriter.rewrite_many(queries[:4], workers=2)
+    assert len(saves) == 1, "the first parallel batch persists the snapshot"
+    second = rewriter.rewrite_many(queries[:4], workers=2)
+    assert len(saves) == 1, "an unchanged view set must reuse the snapshot"
+    assert [_fingerprint(o) for o in first] == [_fingerprint(o) for o in second]
+    # mutating the view set bumps the version and forces a fresh snapshot
+    extra = MaterializedView(views[0].pattern.copy(), name="extra-view")
+    rewriter.views.add(extra)
+    rewriter.rewrite_many(queries[:4], workers=2)
+    assert len(saves) == 2, "a mutated view set must be re-persisted"
+
+
 def test_worker_count_resolution():
     import os
 

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Internal-link checker for the markdown docs.
+
+Scans ``README.md`` and every ``docs/*.md`` file for markdown links and
+verifies that relative targets exist on disk.  External links (http/https/
+mailto) and pure in-page anchors are skipped; a ``#fragment`` suffix on a
+relative link is stripped before the existence check.
+
+Used by the CI ``docs`` job and by ``tests/unit/test_docs.py``, so broken
+cross-references fail tier-1 locally before they fail CI.
+
+Exit status: 0 when every link resolves, 1 otherwise (offenders printed).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCED_CODE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`]*`")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path) -> list[Path]:
+    """README plus the docs tree, deterministic order."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def _prose(text: str) -> str:
+    """Markdown text with code stripped — pattern DSL snippets like
+    ``site(//item[ID,V](/name[V]))`` would otherwise parse as links."""
+    return INLINE_CODE.sub("", FENCED_CODE.sub("", text))
+
+
+def broken_links(root: Path) -> list[tuple[Path, str]]:
+    """All (file, target) pairs whose relative target does not exist."""
+    offenders: list[tuple[Path, str]] = []
+    for path in doc_files(root):
+        for target in LINK.findall(_prose(path.read_text(encoding="utf-8"))):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                offenders.append((path, target))
+    return offenders
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    offenders = broken_links(root)
+    checked = len(doc_files(root))
+    if offenders:
+        for path, target in offenders:
+            print(f"BROKEN: {path.relative_to(root)} -> {target}")
+        print(f"{len(offenders)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"doc links OK ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
