@@ -1,0 +1,182 @@
+"""Session-layer benchmark: prepared queries and the persistent worker pool.
+
+Two measurements over the ``Database`` façade, recorded together in
+``bench-results/session_scaling.json`` (uploaded by the CI ``bench-smoke``
+job):
+
+* **prepared vs unprepared** — the Figure 13 XMark query patterns that have
+  an equivalent rewriting over the seed tag views are answered repeatedly,
+  once through ``db.query(...)`` (full parse + rewrite + plan + execute per
+  call) and once through ``db.prepare(...)`` + repeated ``run()`` (plan
+  once, execute many).  The per-call latency gap is the whole front half of
+  the pipeline — exactly what a request-per-query service saves by holding
+  prepared statements.  Both paths must return identical relations.
+* **persistent vs cold pool** — the same batch of queries is pushed through
+  ``db.query_many(..., workers=2)`` several times against one long-lived
+  session (the :class:`~repro.rewriting.batch.BatchEngine` pool spins up
+  once) and against a fresh session per batch (pool + per-worker catalog
+  load paid every time).  Results must match batch for batch; the wall-clock
+  gap is the pool start-up amortisation ``Database.close()`` manages.
+
+Wall-clock assertions are deliberately soft (this records trend data): the
+prepared path must beat the unprepared path, and the persistent pool must
+beat cold pools — both by margins far wider than scheduler noise on any
+host, because the saved work (rewriting search per call; process spawn +
+catalog load per batch) dominates the measured loops by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro import Database
+from repro.containment.core import clear_containment_cache
+from repro.errors import RewritingError
+from repro.rewriting.algorithm import RewritingConfig
+from repro.workloads.synthetic import seed_tag_views
+from repro.workloads.xmark import generate_xmark_document, xmark_query_patterns
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+REPEATS = 5
+"""How many times each prepared / unprepared query is answered."""
+
+MAX_QUERIES = 6
+"""Cap on the answerable fig13 queries measured: the per-call gap is what
+matters, and six queries × :data:`REPEATS` re-searches already put minutes
+of unprepared work on the clock at paper scale."""
+
+BATCHES = 3
+"""How many ``query_many`` batches hit the persistent vs the cold pool."""
+
+POOL_WORKERS = 2
+
+CONFIG = RewritingConfig(
+    stop_at_first=True,
+    max_plan_size=4,
+    enable_unions=False,
+    time_budget_seconds=10.0,
+)
+
+
+def _session(document, named_view_patterns):
+    database = Database(document, config=CONFIG)
+    for name, pattern in named_view_patterns:
+        database.create_view(pattern.copy(), name=name)
+    return database
+
+
+@pytest.mark.benchmark(group="session")
+def test_prepared_vs_unprepared_and_pool_reuse():
+    document = generate_xmark_document(scale=0.4, seed=548, name="xmark-session")
+    database = Database(document, config=CONFIG)
+    for index, pattern in enumerate(seed_tag_views(database.summary)):
+        database.create_view(pattern, name=f"seed{index}_{pattern.name}")
+
+    # ---- prepared vs unprepared over the fig13 query patterns ---------- #
+    prepared_queries = []
+    for name, pattern in sorted(
+        xmark_query_patterns().items(), key=lambda kv: int(kv[0][1:])
+    ):
+        try:
+            prepared_queries.append((name, pattern, database.prepare(pattern)))
+        except RewritingError:
+            continue  # not answerable from the seed tag views alone
+        if len(prepared_queries) >= MAX_QUERIES:
+            break
+    assert prepared_queries, "no fig13 query is answerable over the seed views"
+
+    clear_containment_cache()
+    start = time.perf_counter()
+    unprepared_rows = [
+        len(database.query(pattern))
+        for _, pattern, _ in prepared_queries
+        for _ in range(REPEATS)
+    ]
+    unprepared_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    prepared_rows = [
+        len(prepared.run())
+        for _, _, prepared in prepared_queries
+        for _ in range(REPEATS)
+    ]
+    prepared_seconds = time.perf_counter() - start
+
+    assert prepared_rows == unprepared_rows, (
+        "prepared and unprepared paths must return identical result sizes"
+    )
+    prepared_speedup = (
+        unprepared_seconds / prepared_seconds if prepared_seconds else float("inf")
+    )
+    # the unprepared path re-runs the rewriting search every call; even with
+    # a warm containment memo that dwarfs pure plan execution
+    assert prepared_speedup > 1.0, (
+        f"prepared execution ({prepared_seconds:.2f}s) should beat re-planning "
+        f"every call ({unprepared_seconds:.2f}s)"
+    )
+
+    # ---- persistent pool vs cold pool over query_many ------------------ #
+    # the batch queries are copies of catalogued view patterns: guaranteed
+    # single-view rewritings, found immediately even by a cold-memo worker —
+    # so worker budget truncation (the documented parallel caveat) cannot
+    # make the persistent and cold runs diverge, whatever the host load
+    view_patterns = [(view.name, view.pattern) for view in database.views]
+    batch = [
+        view.pattern.copy(name=f"batch_q{index}")
+        for index, view in enumerate(database.views)
+        if index % 3 == 0  # every third tag view: a ~24-query batch
+    ]
+
+    start = time.perf_counter()
+    persistent_sizes = []
+    for _ in range(BATCHES):
+        persistent_sizes.append(
+            [len(r) for r in database.query_many(batch, workers=POOL_WORKERS)]
+        )
+    persistent_seconds = time.perf_counter() - start
+    database.close()
+
+    start = time.perf_counter()
+    cold_sizes = []
+    for _ in range(BATCHES):
+        cold = _session(document, view_patterns)
+        cold_sizes.append(
+            [len(r) for r in cold.query_many(batch, workers=POOL_WORKERS)]
+        )
+        cold.close()
+    cold_seconds = time.perf_counter() - start
+
+    assert persistent_sizes == cold_sizes, (
+        "persistent-pool and cold-pool batches must return identical results"
+    )
+    pool_speedup = (
+        cold_seconds / persistent_seconds if persistent_seconds else float("inf")
+    )
+    assert pool_speedup > 1.0, (
+        f"a persistent pool ({persistent_seconds:.2f}s for {BATCHES} batches) "
+        f"should beat cold pools ({cold_seconds:.2f}s): each cold batch pays "
+        f"process spawn + per-worker catalog load"
+    )
+
+    point = {
+        "bench": "session_scaling",
+        "queries": len(prepared_queries),
+        "repeats": REPEATS,
+        "unprepared_seconds": round(unprepared_seconds, 4),
+        "prepared_seconds": round(prepared_seconds, 4),
+        "prepared_speedup": round(prepared_speedup, 2),
+        "batches": BATCHES,
+        "pool_workers": POOL_WORKERS,
+        "persistent_pool_seconds": round(persistent_seconds, 4),
+        "cold_pool_seconds": round(cold_seconds, 4),
+        "pool_speedup": round(pool_speedup, 2),
+    }
+    print(f"\nBENCH_JSON: {json.dumps(point)}")
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "bench-results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "session_scaling.json").write_text(json.dumps(point, indent=2))

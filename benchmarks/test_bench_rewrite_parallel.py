@@ -4,7 +4,8 @@ A 50-view / 200-query workload (same generator as the catalog-vs-naive
 scaling benchmark, but with all 200 queries *distinct* — with the 20
 repeated templates of that benchmark the containment memo collapses the
 sequential run to a fraction of a second and there is nothing left to
-parallelise) is rewritten twice through ``Rewriter.rewrite_many``:
+parallelise) is rewritten twice through a summary-only ``Database`` session
+(``Database.from_summary(...).rewrite_many``):
 
 * **1 worker** — the sequential catalog + memo path (the PR 1 fast path);
 * **N workers** — the :class:`~repro.rewriting.batch.BatchEngine` process
@@ -37,10 +38,9 @@ import time
 
 import pytest
 
-from repro import build_summary
+from repro import Database, build_summary
 from repro.containment.core import clear_containment_cache, containment_cache
 from repro.rewriting.algorithm import RewritingConfig
-from repro.rewriting.rewriter import Rewriter
 from repro.views.view import MaterializedView
 from repro.workloads.synthetic import batch_rewriting_workload
 from repro.workloads.xmark import generate_xmark_document
@@ -80,18 +80,19 @@ def test_rewrite_parallel_vs_single_worker():
         enable_unions=False,
         time_budget_seconds=30.0,
     )
-    rewriter = Rewriter(summary, views, config, use_catalog=True)
+    database = Database.from_summary(summary, views=views, config=config)
 
     clear_containment_cache()
     start = time.perf_counter()
-    serial_outcomes = rewriter.rewrite_many(queries, workers=1)
+    serial_outcomes = database.rewrite_many(queries, workers=1)
     serial_seconds = time.perf_counter() - start
 
     clear_containment_cache()
     start = time.perf_counter()
-    parallel_outcomes = rewriter.rewrite_many(queries, workers=WORKERS)
+    parallel_outcomes = database.rewrite_many(queries, workers=WORKERS)
     parallel_seconds = time.perf_counter() - start
     merged_cache = containment_cache().info()
+    database.close()  # release the persistent worker pool
 
     assert [_fingerprint(o) for o in serial_outcomes] == [
         _fingerprint(o) for o in parallel_outcomes

@@ -1,19 +1,16 @@
-"""Quickstart: summaries, views, containment and rewriting in ten minutes.
+"""Quickstart: the ``Database`` façade in ten minutes.
+
+One object owns the whole lifecycle — summary construction, view DDL with
+incremental catalog maintenance, cost-based planning, prepared queries and
+``EXPLAIN`` — so nothing here wires a summary, catalog, planner or executor
+by hand.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    MaterializedView,
-    Rewriter,
-    build_summary,
-    evaluate_pattern,
-    is_contained,
-    parse_parenthesized,
-    parse_pattern,
-)
+from repro import Database, evaluate_pattern, parse_parenthesized, parse_pattern
 
 
 def main() -> None:
@@ -26,35 +23,45 @@ def main() -> None:
         ')))',
         name="catalog",
     )
-    print(f"document: {document}")
 
-    # 2. its structural summary (strong Dataguide) — one node per distinct path
-    summary = build_summary(document)
-    print(f"summary : {summary.size} nodes, {summary.strong_edge_count} strong edges")
+    # 2. the session: builds the structural summary (strong Dataguide) and
+    #    owns views, catalog, planner and executor from here on
+    with Database(document) as db:
+        print(f"session : {db}")
+        print(f"summary : {db.summary.size} nodes")
 
-    # 3. tree patterns: the view stores item IDs with their names; the query
-    #    asks for exactly that
-    view_pattern = parse_pattern("site(//item[ID](/name[V]))", name="item_names")
-    query = parse_pattern("site(//item[ID](/name[V], /description))", name="query")
+        # 3. declare a materialised view: item IDs with their names.  The
+        #    pattern DSL is parsed for us; the shared catalog is patched
+        #    incrementally (no other view would be re-annotated).
+        view = db.create_view("site(//item[ID](/name[V]))", name="item_names")
+        print(f"view    : {view.name} with {len(view.relation)} rows")
 
-    # 4. containment under the summary: every item has a description here, so
-    #    the query's extra branch is implied and the two patterns coincide
-    print("query ⊆S view :", is_contained(query, view_pattern, summary, check_attributes=False))
-    print("view ⊆S query :", is_contained(view_pattern, query, summary, check_attributes=False))
+        # 4. prepare a query once (parse + rewrite + cost-based plan), run it
+        #    as often as we like.  Every item here has a description, so the
+        #    query's extra branch is implied by the summary and the view
+        #    answers it exactly.
+        prepared = db.prepare(
+            "site(//item[ID](/name[V], /description))", name="query"
+        )
+        answer = prepared.run()
+        print("\nanswer from the materialised view:")
+        print(answer.to_table())
 
-    # 5. materialise the view and rewrite the query over it
-    view = MaterializedView(view_pattern, document, name="item_names")
-    rewriter = Rewriter(summary, [view])
-    outcome = rewriter.rewrite(query)
-    print(f"\nrewritings found: {len(outcome.rewritings)}")
-    print(outcome.best.describe())
+        # 5. EXPLAIN ANALYZE: the chosen rewriting, per-operator estimated
+        #    rows/cost, join order decisions, and measured rows/times
+        print("\nwhat the planner did:")
+        print(prepared.explain(analyze=True).to_text())
 
-    # 6. execute the rewriting and compare with direct evaluation
-    from_views = rewriter.execute(outcome.best)
-    direct = evaluate_pattern(query, document)
-    print("\nanswer from the materialised view:")
-    print(from_views.to_table())
-    print("\nmatches direct evaluation:", from_views.same_contents(direct))
+        # 6. sanity: the rewritten answer matches direct evaluation
+        direct = evaluate_pattern(
+            parse_pattern("site(//item[ID](/name[V], /description))", name="query"),
+            document,
+        )
+        print("\nmatches direct evaluation:", answer.same_contents(direct))
+
+        # 7. view DDL is cheap and safe: prepared queries re-plan themselves
+        db.create_view("site(//keyword[ID,V])", name="keywords")
+        print("after DDL, prepared query still answers:", len(prepared.run()), "rows")
 
 
 if __name__ == "__main__":

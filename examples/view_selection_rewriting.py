@@ -10,14 +10,8 @@ Run with::
     python examples/view_selection_rewriting.py
 """
 
-from repro import (
-    MaterializedView,
-    Rewriter,
-    build_summary,
-    evaluate_pattern,
-    parse_pattern,
-    xpath_to_pattern,
-)
+from repro import Database, evaluate_pattern, xpath_to_pattern
+from repro.errors import RewritingError
 from repro.rewriting import RewritingConfig
 from repro.workloads.dblp import generate_dblp_document
 
@@ -31,47 +25,37 @@ WORKLOAD = [
 
 
 def main() -> None:
-    document = generate_dblp_document("2005", scale=2.0, seed=21, name="dblp")
-    summary = build_summary(document)
-    print(f"DBLP-like document: {document.size} nodes, summary {summary.size} nodes\n")
+    # scale 1.0 keeps the example (and the CI `examples` job) fast; raise it
+    # for a larger corpus — the workload and views are scale-independent
+    document = generate_dblp_document("2005", scale=1.0, seed=21, name="dblp")
+    db = Database(
+        document, config=RewritingConfig(stop_at_first=True, time_budget_seconds=10.0)
+    )
+    print(f"DBLP-like document: {document.size} nodes, summary {db.summary.size} nodes\n")
 
-    views = [
-        MaterializedView(
-            parse_pattern("dblp(//article[ID](/?title[ID,V], /?author[ID,V], /?journal[ID,V], /?volume[ID,V]))",
-                          name="v_articles"),
-            document,
-            name="v_articles",
-        ),
-        MaterializedView(
-            parse_pattern("dblp(//inproceedings[ID](/?title[ID,V], /?booktitle[ID,V]))", name="v_inproc"),
-            document,
-            name="v_inproc",
-        ),
-        MaterializedView(
-            parse_pattern("dblp(//phdthesis[ID](/?author[ID,V]))", name="v_thesis"),
-            document,
-            name="v_thesis",
-        ),
-    ]
-    for view in views:
+    for name, pattern in [
+        ("v_articles",
+         "dblp(//article[ID](/?title[ID,V], /?author[ID,V], /?journal[ID,V], /?volume[ID,V]))"),
+        ("v_inproc", "dblp(//inproceedings[ID](/?title[ID,V], /?booktitle[ID,V]))"),
+        ("v_thesis", "dblp(//phdthesis[ID](/?author[ID,V]))"),
+    ]:
+        view = db.create_view(pattern, name=name)
         print(f"materialised {view.name}: {len(view.relation)} rows")
-
-    rewriter = Rewriter(summary, views, RewritingConfig(stop_at_first=True, time_budget_seconds=10.0))
 
     print("\nworkload:")
     for xpath in WORKLOAD:
         query = xpath_to_pattern(xpath, return_attributes=("ID", "V"), name=xpath)
-        outcome = rewriter.rewrite(query)
-        if not outcome.found:
+        try:
+            prepared = db.prepare(query)
+        except RewritingError:
             print(f"  {xpath:45s} -> no equivalent rewriting over the views")
             continue
-        answer = rewriter.execute(outcome.best)
+        answer = prepared.run()
         direct = evaluate_pattern(query, document)
         status = "OK" if answer.same_contents(direct) else "MISMATCH"
-        print(
-            f"  {xpath:45s} -> {len(answer):3d} rows from "
-            f"{'+'.join(sorted(set(outcome.best.views_used)))} [{status}]"
-        )
+        views_used = "+".join(prepared.explain().views_used)
+        print(f"  {xpath:45s} -> {len(answer):3d} rows from {views_used} [{status}]")
+    db.close()
 
 
 if __name__ == "__main__":

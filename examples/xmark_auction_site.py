@@ -10,7 +10,8 @@ Run with::
     python examples/xmark_auction_site.py
 """
 
-from repro import MaterializedView, Rewriter, build_summary, evaluate_pattern, parse_pattern, xquery_to_pattern
+from repro import Database, evaluate_pattern, xquery_to_pattern
+from repro.errors import RewritingError
 from repro.workloads.xmark import generate_xmark_document
 
 # The introduction's query, without its [//mail] filter: the two views below
@@ -28,8 +29,8 @@ RUNNING_QUERY = """
 def main() -> None:
     # a synthetic XMark document plays the role of XMark.xml
     document = generate_xmark_document(scale=1.0, seed=7, name="XMark")
-    summary = build_summary(document)
-    print(f"XMark-like document: {document.size} nodes, summary: {summary.size} nodes")
+    db = Database(document)
+    print(f"XMark-like document: {document.size} nodes, summary: {db.summary.size} nodes")
 
     # the query of the introduction, translated into one extended tree pattern
     query = xquery_to_pattern(RUNNING_QUERY, name="intro-query")
@@ -37,32 +38,25 @@ def main() -> None:
 
     # V1: item identifiers with their nested listitem keywords (optional+nested)
     # V2: item identifiers with their names
-    v1 = MaterializedView(
-        parse_pattern(
-            "site(//item[ID](//?~listitem[ID](//?keyword[C])))", name="V1"
-        ),
-        document,
-        name="V1",
-    )
-    v2 = MaterializedView(
-        parse_pattern("site(//item[ID](/?name[V]))", name="V2"), document, name="V2"
-    )
+    v1 = db.create_view("site(//item[ID](//?~listitem[ID](//?keyword[C])))", name="V1")
+    v2 = db.create_view("site(//item[ID](/?name[V]))", name="V2")
     print("V1 rows:", len(v1.relation), " V2 rows:", len(v2.relation))
 
-    rewriter = Rewriter(summary, [v1, v2])
-    outcome = rewriter.rewrite(query)
-    if not outcome.found:
+    try:
+        prepared = db.prepare(query)
+    except RewritingError:
         print("\nno equivalent rewriting found with V1 and V2 alone")
         return
-    print(f"\n{len(outcome.rewritings)} rewriting(s) found; best plan:")
-    print(outcome.best.describe())
+    print(f"\n{len(prepared.choice)} rewriting(s) found; the chosen plan:")
+    print(prepared.explain().to_text())
 
-    result = rewriter.execute(outcome.best)
+    result = prepared.run()
     print("\nfirst rows of the rewritten answer:")
     print(result.to_table(max_rows=5))
 
     direct = evaluate_pattern(query, document)
     print("\nmatches direct evaluation:", result.same_contents(direct))
+    db.close()
 
 
 if __name__ == "__main__":

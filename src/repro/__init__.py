@@ -7,35 +7,33 @@ view-based rewriting for an extended tree-pattern language covering a large
 XQuery subset, together with an execution engine for the produced algebraic
 plans and the paper's full experimental harness.
 
-Typical usage::
+Typical usage — the :class:`Database` session façade owns the whole
+lifecycle (summary, views, catalog, planner, executor)::
 
-    from repro import (
-        parse_xml_string, build_summary, parse_pattern,
-        is_contained, MaterializedView, Rewriter,
-    )
+    from repro import Database, parse_xml_string
 
-    doc = parse_xml_string(open("catalog.xml").read())
-    summary = build_summary(doc)
-    view = MaterializedView(parse_pattern("site(//item[ID,V])"), doc)
-    query = parse_pattern("site(//item[ID,V](/name))")
-    rewriter = Rewriter(summary, [view])
-    result = rewriter.rewrite(query)
+    db = Database(parse_xml_string(open("catalog.xml").read()))
+    db.create_view("site(//item[ID,V])", name="items")
 
-Workloads should prefer the batch API: ``rewrite_many`` shares the
-:class:`~repro.views.ViewCatalog` (summary index, per-view annotated
-candidate prototypes, the Prop. 3.4 inverted path index) across all queries,
-and repeated containment questions become hits in a process-wide memo —
-with plan-for-plan identical results.  Pass ``workers=N`` to shard the
-workload over a process pool (one shared catalog snapshot, merged memos,
-identical plans).  Execution goes through the cost-based planner: every
-rewriting lowers to a costed :class:`~repro.planning.LogicalPlan` and the
-cheapest one runs::
+    result = db.query("site(//item[ID,V])")          # one-shot
 
-    queries = [parse_pattern(text) for text in workload_texts]
-    outcomes = rewriter.rewrite_many(queries, workers=4)
-    planner = Planner(rewriter)
-    best = planner.best_plan(queries[0])     # minimum-cost alternative
-    answer = planner.execute(best)
+    prepared = db.prepare("site(//item[ID,V])")      # plan once...
+    for _ in range(100):
+        result = prepared.run()                      # ...run many times
+    print(prepared.explain(analyze=True).to_text())  # est. vs actual rows
+
+    answers = db.query_many(workload, workers=4)     # persistent pool
+    db.close()                                       # releases the pool
+
+``create_view`` / ``drop_view`` maintain the shared
+:class:`~repro.views.ViewCatalog` incrementally (inverted indexes patched in
+place — the other views are never re-annotated), ``query``/``prepare`` route
+through the cost-based :class:`~repro.planning.Planner` (every rewriting
+lowers to a costed :class:`~repro.planning.LogicalPlan`, the cheapest one
+runs), and ``query_many(workers=N)`` shards the rewriting phase over the
+:class:`~repro.rewriting.BatchEngine`'s persistent worker pool.  The layers
+underneath (``Rewriter``, ``ViewCatalog``, ``Planner``, ``PlanExecutor``)
+remain importable for code that needs just one of them.
 """
 
 from repro.errors import (
@@ -95,8 +93,9 @@ from repro.algebra import Relation
 from repro.views import MaterializedView, ViewCatalog, ViewSet
 from repro.rewriting import BatchEngine, Rewriter, Rewriting
 from repro.planning import CostModel, LogicalPlan, PlanChoice, PlannedRewriting, Planner
+from repro.session import Database, ExplainReport, PreparedQuery
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # errors
@@ -163,5 +162,9 @@ __all__ = [
     "PlanChoice",
     "PlannedRewriting",
     "Planner",
+    # session façade
+    "Database",
+    "PreparedQuery",
+    "ExplainReport",
     "__version__",
 ]

@@ -24,6 +24,8 @@ debugging oracle the A/B tests compare against.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.algebra.operators import (
@@ -47,10 +49,47 @@ from repro.patterns.pattern import Axis
 from repro.xmltree.ids import DeweyID
 from repro.xmltree.node import XMLNode
 
-__all__ = ["PlanExecutor", "STRUCTURAL_JOIN_STRATEGIES"]
+__all__ = [
+    "OperatorRunStats",
+    "PlanExecutor",
+    "ID_JOIN_STRATEGIES",
+    "STRUCTURAL_JOIN_STRATEGIES",
+]
 
 STRUCTURAL_JOIN_STRATEGIES = ("merge", "nested-loop")
 """Accepted values for ``PlanExecutor(..., structural_join_strategy=...)``."""
+
+ID_JOIN_STRATEGIES = ("merge", "hash")
+"""Accepted values for ``PlanExecutor(..., id_join_strategy=...)``.
+
+``"merge"`` (the default) runs ``⋈=`` as a single-pass merge on Dewey order
+whenever *both* inputs arrive annotated as sorted on their join columns
+(the order annotation the staircase machinery already propagates), falling
+back to the hash join otherwise; ``"hash"`` forces the seed hash join
+unconditionally — the oracle the A/B identity tests compare against.
+Results are identical either way, row order included.
+"""
+
+
+@dataclass
+class OperatorRunStats:
+    """Measured execution statistics for one distinct plan operator.
+
+    Collected by a profiling executor (``PlanExecutor(..., profile=True)``)
+    and consumed by ``EXPLAIN ANALYZE`` reports: the *actual* counterpart of
+    the planner's :class:`~repro.planning.cost.OperatorEstimate`.
+    """
+
+    operator: PlanOperator
+    rows: int
+    """Rows in the operator's output relation."""
+
+    seconds: float
+    """Wall time spent in this operator alone (children excluded)."""
+
+    inclusive_seconds: float
+    """Wall time of the whole sub-plan rooted here (children included,
+    shared sub-plans charged to their first caller — like the memo)."""
 
 
 class PlanExecutor:
@@ -74,6 +113,16 @@ class PlanExecutor:
         ``"merge"`` (default) runs ``⋈≺`` / ``⋈≺≺`` as the single-pass
         staircase sort-merge; ``"nested-loop"`` keeps the seed's ``O(l×r)``
         pair loop as a debugging / oracle path.  Results are identical.
+    id_join_strategy:
+        ``"merge"`` (default) runs ``⋈=`` as a Dewey merge when both inputs
+        are annotated sorted on their join columns (hash otherwise);
+        ``"hash"`` forces the hash join — the oracle path.  Results are
+        identical, row order included.
+    profile:
+        When True, the executor records an :class:`OperatorRunStats` per
+        distinct operator (rows produced, own and inclusive wall time),
+        retrievable via :meth:`run_stats` — the measurement side of
+        ``EXPLAIN ANALYZE``.
 
     Example
     -------
@@ -95,16 +144,27 @@ class PlanExecutor:
         self,
         views: Mapping[str, object],
         structural_join_strategy: str = "merge",
+        id_join_strategy: str = "merge",
+        profile: bool = False,
     ):
         if structural_join_strategy not in STRUCTURAL_JOIN_STRATEGIES:
             raise PlanExecutionError(
                 f"unknown structural join strategy {structural_join_strategy!r}; "
                 f"expected one of {STRUCTURAL_JOIN_STRATEGIES}"
             )
+        if id_join_strategy not in ID_JOIN_STRATEGIES:
+            raise PlanExecutionError(
+                f"unknown id join strategy {id_join_strategy!r}; "
+                f"expected one of {ID_JOIN_STRATEGIES}"
+            )
         self._views = views
         self._merge_joins = structural_join_strategy == "merge"
+        self._merge_id_joins = id_join_strategy == "merge"
+        self.profile = profile
         # id() -> (operator, result); the operator reference keeps the id alive
         self._memo: dict[int, tuple[PlanOperator, Relation]] = {}
+        self._run_stats: dict[int, OperatorRunStats] = {}
+        self._child_seconds: list[float] = []
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanOperator) -> Relation:
@@ -112,9 +172,34 @@ class PlanExecutor:
         cached = self._memo.get(id(plan))
         if cached is not None:
             return cached[1]
-        result = self._execute(plan)
+        if not self.profile:
+            result = self._execute(plan)
+        else:
+            start = time.perf_counter()
+            self._child_seconds.append(0.0)
+            result = self._execute(plan)
+            children = self._child_seconds.pop()
+            elapsed = time.perf_counter() - start
+            if self._child_seconds:
+                self._child_seconds[-1] += elapsed
+            self._run_stats[id(plan)] = OperatorRunStats(
+                operator=plan,
+                rows=len(result.rows),
+                seconds=max(elapsed - children, 0.0),
+                inclusive_seconds=elapsed,
+            )
         self._memo[id(plan)] = (plan, result)
         return result
+
+    def run_stats(self, plan: PlanOperator) -> Optional[OperatorRunStats]:
+        """The measured statistics for one operator object, if profiled.
+
+        Shared sub-plans execute once (the memo), so repeated occurrences of
+        the same operator object report the same measurement; operators whose
+        result came back entirely from the memo of a previous :meth:`execute`
+        call keep the stats of the run that actually computed them.
+        """
+        return self._run_stats.get(id(plan))
 
     def _execute(self, plan: PlanOperator) -> Relation:
         if isinstance(plan, ViewScan):
@@ -179,19 +264,66 @@ class PlanExecutor:
         left_index = left.column_index(plan.left_column)
         right_index = right.column_index(plan.right_column)
         result = left.natural_concat(right)
-        by_id: dict[str, list[tuple]] = {}
+        if (
+            self._merge_id_joins
+            and left.is_sorted_by(plan.left_column)
+            and right.is_sorted_by(plan.right_column)
+        ):
+            self._merge_id_join(plan, left, right, left_index, right_index, result)
+        else:
+            by_id: dict[str, list[tuple]] = {}
+            for row in right.rows:
+                identifier = self._as_dewey(row[right_index])
+                if identifier is not None:
+                    by_id.setdefault(str(identifier), []).append(row)
+            for left_row in left.rows:
+                identifier = self._as_dewey(left_row[left_index])
+                if identifier is None:
+                    continue
+                for right_row in by_id.get(str(identifier), ()):
+                    result.rows.append(left_row + right_row)
+        result.sorted_by = left.sorted_by  # probe order is left order
+        return result
+
+    def _merge_id_join(
+        self,
+        plan: IdEqualityJoin,
+        left: Relation,
+        right: Relation,
+        left_index: int,
+        right_index: int,
+        result: Relation,
+    ) -> None:
+        """``⋈=`` as a single merge pass over two Dewey-sorted inputs.
+
+        Equal identifiers are adjacent on both sides, so the right side
+        collapses into per-identifier groups and one non-retreating cursor
+        pairs them with the (non-decreasing) left identifiers.  Rows with a
+        ``⊥`` join value can never match and are skipped — exactly what the
+        hash join does — and output rows come out in left-row order, so the
+        two strategies produce *identical* row lists, not just equal sets.
+        """
+        groups: list[tuple[tuple, list[tuple]]] = []
         for row in right.rows:
             identifier = self._as_dewey(row[right_index])
-            if identifier is not None:
-                by_id.setdefault(str(identifier), []).append(row)
+            if identifier is None:
+                continue
+            key = identifier.components
+            if groups and groups[-1][0] == key:
+                groups[-1][1].append(row)
+            else:
+                groups.append((key, [row]))
+        position = 0
         for left_row in left.rows:
             identifier = self._as_dewey(left_row[left_index])
             if identifier is None:
                 continue
-            for right_row in by_id.get(str(identifier), ()):
-                result.rows.append(left_row + right_row)
-        result.sorted_by = left.sorted_by  # probe order is left order
-        return result
+            key = identifier.components
+            while position < len(groups) and groups[position][0] < key:
+                position += 1
+            if position < len(groups) and groups[position][0] == key:
+                for right_row in groups[position][1]:
+                    result.rows.append(left_row + right_row)
 
     def _structural_match(self, upper, lower, axis: Axis) -> bool:
         upper_id = self._as_dewey(upper)

@@ -294,11 +294,15 @@ def _containment_decision_uncached(
             raise ContainmentError(
                 f"canonical model of {contained.name!r} exceeds {max_trees} trees"
             )
+        # the deadline must tick *inside* the evaluation too: one decorated
+        # evaluation over an adversarial (pattern, tree) pair can cost more
+        # than every other step of the test combined
+        tick = _check_deadline if _deadline is not None else None
         left_tuples = evaluate_node_tuples(
-            contained, tree.root, EmbeddingMode.DECORATED
+            contained, tree.root, EmbeddingMode.DECORATED, tick=tick
         )
         right_tuples = evaluate_node_tuples(
-            container, tree.root, EmbeddingMode.DECORATED
+            container, tree.root, EmbeddingMode.DECORATED, tick=tick
         )
         if not left_tuples <= right_tuples:
             return ContainmentDecision(
@@ -388,13 +392,16 @@ def _is_contained_in_union_uncached(
 
     for tree in iter_canonical_model(contained, summary, deadline=_deadline):
         _check_deadline()
+        tick = _check_deadline if _deadline is not None else None
         left_tuples = evaluate_node_tuples(
-            contained, tree.root, EmbeddingMode.DECORATED
+            contained, tree.root, EmbeddingMode.DECORATED, tick=tick
         )
         # each container's tuples depend only on (container, tree) — compute
         # them once per tree, not once per left tuple
         container_tuples = [
-            evaluate_node_tuples(container, tree.root, EmbeddingMode.DECORATED)
+            evaluate_node_tuples(
+                container, tree.root, EmbeddingMode.DECORATED, tick=tick
+            )
             for container in stripped
         ] if left_tuples else []
         matching_indexes: set[int] = set()

@@ -68,3 +68,9 @@ class RewritingError(ReproError):
 
 class WorkloadError(ReproError):
     """Problems generating synthetic documents or patterns."""
+
+
+class SessionError(ReproError):
+    """Problems in the session layer (:class:`repro.Database` lifecycle):
+    constructing a database without a document or summary, view DDL against
+    a closed resource, or loading a snapshot that is not a database."""

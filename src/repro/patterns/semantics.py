@@ -38,10 +38,21 @@ __all__ = [
 # --------------------------------------------------------------------------- #
 # abstract semantics: tuples of tree nodes (with ⊥), used for containment
 # --------------------------------------------------------------------------- #
+_TICK_STRIDE = 1024
+"""How many binding merges go between two ``tick()`` calls: the binding
+product is the one loop whose size is exponential in the pattern, so it must
+poll the caller's deadline itself — everything else ticks per node visit."""
+
+
 def _eval_nodes(
-    pattern_node: PatternNode, tree_node, mode: EmbeddingMode
+    pattern_node: PatternNode,
+    tree_node,
+    mode: EmbeddingMode,
+    tick: Optional[Callable[[], None]] = None,
 ) -> Optional[list[dict[PatternNode, object]]]:
     """Return the list of partial bindings for the subtree, or None on failure."""
+    if tick is not None:
+        tick()
     if not _node_matches(pattern_node, tree_node, mode):
         return None
     partials: list[dict[PatternNode, object]] = [
@@ -54,7 +65,7 @@ def _eval_nodes(
             candidates = list(_iter_descendants(tree_node))
         sub_results: list[dict[PatternNode, object]] = []
         for candidate in candidates:
-            result = _eval_nodes(child, candidate, mode)
+            result = _eval_nodes(child, candidate, mode, tick)
             if result is not None:
                 sub_results.extend(result)
         if not sub_results:
@@ -65,9 +76,18 @@ def _eval_nodes(
                 sub_results = [null_binding]
             else:
                 return None
-        partials = [
-            {**partial, **sub} for partial in partials for sub in sub_results
-        ]
+        if tick is None:
+            partials = [
+                {**partial, **sub} for partial in partials for sub in sub_results
+            ]
+        else:
+            merged: list[dict[PatternNode, object]] = []
+            for partial in partials:
+                for sub in sub_results:
+                    merged.append({**partial, **sub})
+                    if len(merged) % _TICK_STRIDE == 0:
+                        tick()
+            partials = merged
     return partials
 
 
@@ -75,17 +95,25 @@ def evaluate_node_tuples(
     pattern: TreePattern,
     tree_root,
     mode: EmbeddingMode = EmbeddingMode.DOCUMENT,
+    tick: Optional[Callable[[], None]] = None,
 ) -> set[tuple]:
     """Evaluate ``pattern`` on the tree rooted at ``tree_root``.
 
     Returns the set of return-node tuples (entries are tree nodes or ``None``
     for ``⊥``), following Definition 4.1 for optional edges: ``⊥`` appears
     only when no match exists for the optional subtree.
+
+    ``tick``, when given, is invoked periodically *during* the evaluation
+    (per visited node, and every :data:`_TICK_STRIDE` binding merges in the
+    worst-case product loop).  Containment passes its deadline check here:
+    a single decorated evaluation over an adversarial (pattern, tree) pair
+    can dwarf the rest of the test, and a wall-clock budget that only fires
+    between evaluations would not actually bound the caller's wait.
     """
     return_nodes = pattern.return_nodes()
     if not return_nodes:
         raise PatternError(f"pattern {pattern.name!r} has no return nodes")
-    bindings = _eval_nodes(pattern.root, tree_root, mode)
+    bindings = _eval_nodes(pattern.root, tree_root, mode, tick)
     if bindings is None:
         return set()
     result = set()

@@ -48,7 +48,45 @@ from repro.patterns.pattern import Axis
 from repro.patterns.predicates import ValueFormula
 from repro.summary.statistics import Statistics
 
-__all__ = ["CostModel", "OperatorEstimate", "plan_sorted_on"]
+__all__ = ["CostModel", "OperatorEstimate", "plan_sorted_on", "sort_merge_decision"]
+
+
+def sort_merge_decision(
+    operator: PlanOperator, statistics: Optional[Statistics] = None
+) -> Optional[str]:
+    """The order-based algorithm choice for a join operator, as a label.
+
+    ``EXPLAIN`` reports surface this next to each join: structural joins
+    run as a pure ``"merge"`` when the static order analysis
+    (:func:`plan_sorted_on`) proves both inputs Dewey-sorted on their join
+    columns, and as ``"sort+merge(<sides>)"`` naming the inputs that need
+    an explicit sort otherwise; ID-equality joins report ``"merge"`` or
+    ``"hash"`` under the same analysis.  Non-join operators return ``None``.
+
+    The analysis mirrors the executor's dynamic ``Relation.sorted_by``
+    checks but can only under-claim (a run-time annotation the static
+    rules cannot prove), so a reported sort may turn out to be a no-op —
+    never the other way round.
+    """
+    if isinstance(operator, (StructuralJoin, NestedStructuralJoin)):
+        unsorted = [
+            side
+            for side, child, column in (
+                ("left", operator.left, operator.left_column),
+                ("right", operator.right, operator.right_column),
+            )
+            if not plan_sorted_on(child, column, statistics)
+        ]
+        if not unsorted:
+            return "merge"
+        return f"sort+merge({','.join(unsorted)})"
+    if isinstance(operator, IdEqualityJoin):
+        if plan_sorted_on(
+            operator.left, operator.left_column, statistics
+        ) and plan_sorted_on(operator.right, operator.right_column, statistics):
+            return "merge"
+        return "hash"
+    return None
 
 
 def plan_sorted_on(

@@ -83,6 +83,14 @@ class PlanChoice:
         return self.alternatives[0]
 
     @property
+    def alternative_costs(self) -> tuple[float, ...]:
+        """Estimated costs of every costed alternative, cheapest first.
+
+        What ``EXPLAIN`` reports surface next to the chosen plan: the
+        cost landscape the planner actually chose from."""
+        return tuple(planned.cost for planned in self.alternatives)
+
+    @property
     def first_found_was_best(self) -> bool:
         """Whether the cheapest plan is also the one the search found first
         (a search-order comparison; the seed *execution* policy was the

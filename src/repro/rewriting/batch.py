@@ -7,9 +7,13 @@ fast path (catalog + memo, PR 1) stays exactly as it was; with ``workers >
 1. builds the shared :class:`~repro.views.catalog.ViewCatalog` once and
    persists it with :meth:`ViewCatalog.save` (extents stripped — workers
    only rewrite, the parent executes),
-2. spawns a process pool whose initializer loads the catalog exactly once
-   per worker — the same snapshot file every worker maps, which is the
-   whole point of the versioned save/load format,
+2. spawns a *persistent* process pool whose initializer loads the catalog
+   exactly once per worker — the same snapshot file every worker maps,
+   which is the whole point of the versioned save/load format.  The pool
+   survives across :meth:`BatchEngine.run` calls (recycled only when the
+   view set, the config, the worker count or the memo switches change) and
+   is released by :meth:`BatchEngine.close` — request-per-batch callers
+   such as ``Database.query_many`` pay worker start-up once, not per batch,
 3. deals queries round-robin into ``workers`` shards (queries are
    independent; results are re-assembled in input order),
 4. merges each worker's containment-memo delta back into the parent
@@ -56,6 +60,19 @@ def _remove_quietly(name: str) -> None:
         os.unlink(name)
     except OSError:
         pass
+
+
+def _shutdown_quietly(pool: ProcessPoolExecutor) -> None:
+    """Finalizer for engine-owned worker pools (already-dead pools are fine)."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - interpreter-teardown races
+        pass
+
+
+def _config_fingerprint(config: RewritingConfig) -> str:
+    """A stable identity for the config a pool's workers were primed with."""
+    return repr(sorted(config.__dict__.items()))
 
 
 def resolve_worker_count(workers: Optional[int]) -> int:
@@ -171,6 +188,9 @@ class BatchEngine:
         self.catalog_path = Path(catalog_path) if catalog_path is not None else None
         self._owned_path: Optional[Path] = None
         self._snapshot_version: Optional[int] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_key: Optional[tuple] = None
+        self._pool_finalizer = None
 
     # ------------------------------------------------------------------ #
     def _snapshot_path(self) -> Path:
@@ -197,6 +217,64 @@ class BatchEngine:
         self.rewriter.catalog.save(path)
         self._snapshot_version = version
 
+    def _ensure_pool(
+        self, workers: int, path: Path, config: RewritingConfig
+    ) -> ProcessPoolExecutor:
+        """The persistent worker pool, (re)created only when its key changes.
+
+        The pool outlives :meth:`run`: request-per-batch callers (above all
+        ``Database.query_many``) pay the process spawn and the per-worker
+        catalog load once, not once per batch.  The key captures everything
+        the workers were primed with by the initializer — worker count,
+        snapshot version (view-set mutations invalidate the loaded catalog),
+        the search config, and both memo switches — so a change in any of
+        them recycles the pool instead of serving stale state.  Call
+        :meth:`close` (or ``Database.close()``) to release the processes.
+        """
+        from repro.canonical.model import canonical_model_cache
+        from repro.containment.core import containment_cache
+
+        key = (
+            workers,
+            self._snapshot_version,
+            str(path),
+            _config_fingerprint(config),
+            containment_cache().enabled,
+            canonical_model_cache().enabled,
+        )
+        if self._pool is not None and self._pool_key == key:
+            return self._pool
+        self.close()
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(
+                str(path),
+                config,
+                containment_cache().enabled,
+                canonical_model_cache().enabled,
+            ),
+        )
+        self._pool_key = key
+        self._pool_finalizer = weakref.finalize(self, _shutdown_quietly, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        The engine stays usable — the next parallel :meth:`run` simply
+        starts a fresh pool.  Owned snapshot files are kept until the
+        engine itself is garbage-collected (they are what makes the next
+        pool start cheap when the view set has not changed).
+        """
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None
+
     def run(
         self,
         queries: Sequence[TreePattern],
@@ -218,25 +296,23 @@ class BatchEngine:
         indexed = list(enumerate(queries))
         shards = [indexed[shard::workers] for shard in range(workers)]
         path = self._snapshot_path()
-        from repro.canonical.model import canonical_model_cache
-        from repro.containment.core import containment_cache
-
         self._ensure_snapshot(path)
+        # the pool is sized to the engine's configured worker count even when
+        # this batch needs fewer shards, so alternating batch sizes keep one
+        # warm pool instead of recycling it on every size change
+        pool = self._ensure_pool(self.workers, path, config)
         by_index: dict[int, "RewriteOutcome"] = {}
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(
-                str(path),
-                config,
-                containment_cache().enabled,
-                canonical_model_cache().enabled,
-            ),
-        ) as pool:
+        try:
             for outcomes, delta in pool.map(_worker_run, shards):
                 for index, outcome in outcomes:
                     by_index[index] = outcome
                 merge_containment_delta(self.rewriter.summary, delta)
+        except Exception:
+            # a dead worker leaves the pool permanently broken; evict it so
+            # the next run self-heals with fresh processes (the per-run pool
+            # this engine replaced healed by construction)
+            self.close()
+            raise
 
         results = []
         for index, query in enumerate(queries):

@@ -1,7 +1,17 @@
-"""Public facade of the rewriting subsystem."""
+"""Public facade of the rewriting subsystem.
+
+For application code, :class:`repro.Database` is the canonical entry point
+these days — it owns the summary, the view catalog, the planner and the
+executor, and adds prepared queries, ``EXPLAIN`` and incremental view DDL
+on top of the machinery here.  ``Rewriter`` remains fully supported as the
+rewriting-layer internal (and for code that genuinely only rewrites, never
+executes); only the all-in-one :meth:`Rewriter.answer` shortcut is
+deprecated in favour of ``Database.query``.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.algebra.execution import PlanExecutor
@@ -22,6 +32,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.views.catalog import ViewCatalog
 
 __all__ = ["Rewriter", "RewriteOutcome"]
+
+_answer_deprecation_emitted = False
+
+
+def _warn_answer_deprecated() -> None:
+    """Emit the ``Rewriter.answer`` deprecation exactly once per process."""
+    global _answer_deprecation_emitted
+    if not _answer_deprecation_emitted:
+        _answer_deprecation_emitted = True
+        warnings.warn(
+            "Rewriter.answer() is deprecated as a public entry point; build a "
+            "repro.Database over your document and use db.query(...) / "
+            "db.prepare(...).run() instead (identical results, plus prepared "
+            "queries, EXPLAIN and incremental view DDL)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 class RewriteOutcome:
@@ -139,6 +166,41 @@ class Rewriter:
         views are added to / removed from the set)."""
         self._catalog = None
 
+    def notify_view_added(self, view: MaterializedView) -> None:
+        """Patch the cached catalog for a view just added to the view set.
+
+        The incremental-maintenance hook :class:`repro.Database` calls from
+        ``create_view``: instead of letting the version check drop and
+        rebuild the whole catalog (the pre-session behaviour, O(all views)),
+        the one new entry is built and the inverted indexes are patched in
+        place (:meth:`ViewCatalog.add_view`).  Derived consumers — the
+        planner's cost model and the batch engine's snapshot — key on
+        ``views.version`` and refresh themselves from the *patched* catalog.
+        No-op when the catalog was never built (nothing to patch).
+        """
+        if self._catalog is not None:
+            self._catalog.add_view(view)
+            self._catalog_version = self.views.version
+
+    def notify_view_removed(self, name: str) -> None:
+        """Patch the cached catalog for a view just removed from the set.
+
+        Counterpart of :meth:`notify_view_added`, backed by
+        :meth:`ViewCatalog.remove_view`.
+        """
+        if self._catalog is not None:
+            self._catalog.remove_view(name)
+            self._catalog_version = self.views.version
+
+    def close(self) -> None:
+        """Release pooled resources (the batch engine's worker processes).
+
+        Safe to call repeatedly; a later ``rewrite_many(workers=N)`` simply
+        starts a fresh pool.
+        """
+        if self._batch_engine is not None:
+            self._batch_engine.close()
+
     @classmethod
     def from_catalog(
         cls, catalog: "ViewCatalog", config: Optional[RewritingConfig] = None
@@ -227,6 +289,14 @@ class Rewriter:
     def answer(self, query: TreePattern) -> Relation:
         """Rewrite, pick the cheapest plan, and execute it.
 
+        .. deprecated::
+            ``answer`` predates the session layer; use
+            :class:`repro.Database` (``db.query(...)`` or
+            ``db.prepare(...).run()``) instead — same relation, computed
+            through the same planner, plus prepared-query reuse and
+            ``EXPLAIN``.  A single :class:`DeprecationWarning` is emitted
+            per process; the behaviour itself is unchanged.
+
         Every rewriting found is lowered to a costed logical plan and the
         minimum-cost one runs (see :class:`repro.planning.Planner`); the
         seed behaviour of executing :attr:`RewriteOutcome.best` (the
@@ -234,6 +304,7 @@ class Rewriter:
         All alternatives return the same relation — they are S-equivalent
         — so only the execution cost changes.
         """
+        _warn_answer_deprecated()
         outcome = self.rewrite(query)
         if not outcome.found:
             raise RewritingError(

@@ -1,0 +1,470 @@
+"""The session façade: one object owning the whole query-answering lifecycle.
+
+A :class:`Database` is what the paper's system *is* — load a document,
+declare materialised views, then answer a stream of queries — packaged as a
+single entry point so callers stop hand-wiring ``build_summary`` +
+``MaterializedView`` + ``Rewriter`` + ``Planner`` + ``PlanExecutor``:
+
+* **lifecycle** — ``Database(document)`` builds the structural summary and
+  owns the :class:`~repro.views.store.ViewSet`, the shared
+  :class:`~repro.views.catalog.ViewCatalog`, the cost-based
+  :class:`~repro.planning.planner.Planner` and the rewriting machinery;
+  ``save``/``load`` persist the whole session (views *with* extents) through
+  the versioned catalog snapshot format;
+* **view DDL** — :meth:`Database.create_view` / :meth:`Database.drop_view`
+  maintain the catalog *incrementally*: the inverted root-label /
+  summary-path / attribute indexes are patched in place
+  (:meth:`~repro.views.catalog.ViewCatalog.add_view` /
+  :meth:`~repro.views.catalog.ViewCatalog.remove_view`), so adding or
+  dropping one view among hundreds never re-annotates the others;
+* **query lifecycle** — :meth:`Database.prepare` parses, rewrites and plans
+  once and returns a :class:`PreparedQuery` whose :meth:`PreparedQuery.run`
+  only executes; :meth:`Database.query` is the one-shot sugar;
+  :meth:`PreparedQuery.explain` produces a structured
+  :class:`~repro.session.explain.ExplainReport` (with per-operator
+  estimated *and* measured rows under ``analyze=True``);
+* **batch service** — :meth:`Database.query_many` shards the rewriting
+  phase over the :class:`~repro.rewriting.batch.BatchEngine`'s *persistent*
+  worker pool, which survives across calls and is released by
+  :meth:`Database.close` (or the context manager).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.algebra.execution import PlanExecutor
+from repro.algebra.tuples import Relation
+from repro.errors import RewritingError, SessionError
+from repro.patterns.parser import parse_pattern
+from repro.patterns.pattern import TreePattern
+from repro.planning.planner import PlanChoice, PlannedRewriting, Planner
+from repro.rewriting.rewriter import Rewriter
+from repro.session.explain import ExplainReport, build_explain_report
+from repro.summary.dataguide import Summary, build_summary
+from repro.views.catalog import CATALOG_FORMAT_VERSION, ViewCatalog
+from repro.views.store import ViewSet
+from repro.views.view import MaterializedView
+from repro.xmltree.node import XMLDocument
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rewriting.algorithm import RewritingConfig
+    from repro.rewriting.rewriter import RewriteOutcome
+
+__all__ = ["Database", "PreparedQuery", "DATABASE_FORMAT_VERSION"]
+
+DATABASE_FORMAT_VERSION = "database/1"
+"""On-disk format tag written by :meth:`Database.save` (distinct from the
+bare :data:`~repro.views.catalog.CATALOG_FORMAT_VERSION` integer, so either
+kind of snapshot is recognised on load)."""
+
+
+class PreparedQuery:
+    """One query, planned once, executable many times.
+
+    Preparation runs the full front half of the pipeline — rewriting search,
+    lowering every alternative to a costed logical plan, ranking — and pins
+    the chosen plan; :meth:`run` only executes it.  The plan is keyed to the
+    database's view-set version: view DDL after preparation transparently
+    re-plans on the next use (the prepared query never serves a plan over
+    views that no longer exist), and :attr:`times_planned` counts how often
+    that actually happened.
+
+    Instances come from :meth:`Database.prepare`; constructing one raises
+    :class:`~repro.errors.RewritingError` when the query has no equivalent
+    rewriting over the database's views.
+    """
+
+    def __init__(self, database: "Database", query: TreePattern):
+        self._database = database
+        self.query = query
+        self._choice: Optional[PlanChoice] = None
+        self._version: Optional[int] = None
+        self.times_planned = 0
+        """How many times this query went through rewrite + plan (1 after
+        construction; +1 per re-plan forced by view DDL)."""
+        self._ensure_planned()
+
+    # ------------------------------------------------------------------ #
+    def _ensure_planned(self) -> None:
+        version = self._database.views.version
+        if self._choice is not None and self._version == version:
+            return
+        choice = self._database.planner.plan(self.query)
+        if not choice.found:
+            raise RewritingError(
+                f"query {self.query.name!r} has no equivalent rewriting over "
+                f"views {sorted(self._database.views.names)}"
+            )
+        self._choice = choice
+        self._version = version
+        self.times_planned += 1
+
+    @property
+    def choice(self) -> PlanChoice:
+        """All costed alternatives, cheapest first (re-planned if stale)."""
+        self._ensure_planned()
+        return self._choice
+
+    @property
+    def plan(self) -> PlannedRewriting:
+        """The chosen (minimum-cost) planned rewriting."""
+        return self.choice.best
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> Relation:
+        """Execute the prepared plan over the database's views."""
+        planned = self.plan
+        executor = PlanExecutor(self._database.views)
+        return executor.execute(planned.rewriting.plan)
+
+    def explain(self, analyze: bool = False) -> ExplainReport:
+        """The structured report for the chosen plan.
+
+        With ``analyze=True`` the plan is executed under a profiling
+        executor and every operator entry carries measured rows and wall
+        time next to the planner's estimates.
+        """
+        choice = self.choice
+        model = self._database.planner.cost_model
+        if not analyze:
+            return build_explain_report(choice, model.statistics)
+        executor = PlanExecutor(self._database.views, profile=True)
+        start = time.perf_counter()
+        executor.execute(choice.best.rewriting.plan)
+        elapsed = time.perf_counter() - start
+        return build_explain_report(choice, model.statistics, executor, elapsed)
+
+    def describe(self) -> str:
+        """The chosen plan's indented cost-annotated rendering."""
+        return self.plan.describe()
+
+    def __repr__(self) -> str:
+        planned = "stale" if self._version != self._database.views.version else "ready"
+        return f"<PreparedQuery {self.query.name!r} {planned}>"
+
+
+class Database:
+    """The canonical entry point: documents in, views declared, queries out.
+
+    Parameters
+    ----------
+    document:
+        The XML document to serve queries over.  Its structural summary is
+        built here (pass ``summary`` to skip that, or use
+        :meth:`from_summary` for summary-only sessions that never execute).
+    views:
+        Initial views (an iterable of :class:`MaterializedView`, or a
+        :class:`ViewSet` adopted as-is).  Further views come and go through
+        :meth:`create_view` / :meth:`drop_view`.
+    config:
+        Optional :class:`~repro.rewriting.algorithm.RewritingConfig` tuning
+        every rewriting search this session runs.
+    use_catalog:
+        Disable only for naive-baseline experiments; incremental DDL then
+        degrades to the version-counter rebuild.
+
+    Example
+    -------
+    >>> from repro import Database, parse_parenthesized
+    >>> doc = parse_parenthesized('site(item(name="pen") item(name="ink"))')
+    >>> db = Database(doc)
+    >>> view = db.create_view("site(//item[ID,V])", name="v")
+    >>> prepared = db.prepare("site(//item[ID,V])", name="q")
+    >>> len(prepared.run())
+    2
+    >>> prepared.explain().views_used
+    ('v',)
+    >>> len(db.query_many(["site(//item[ID,V])", "site(//item[ID,V])"]))
+    2
+    >>> db.drop_view("v")
+    >>> db.close()
+    """
+
+    def __init__(
+        self,
+        document: Optional[XMLDocument] = None,
+        views: ViewSet | Iterable[MaterializedView] = (),
+        config: Optional["RewritingConfig"] = None,
+        summary: Optional[Summary] = None,
+        use_catalog: bool = True,
+    ):
+        if document is None and summary is None:
+            raise SessionError(
+                "a Database needs a document (or at least a summary — "
+                "see Database.from_summary)"
+            )
+        self._document = document
+        self._summary = summary if summary is not None else build_summary(document)
+        self._rewriter = Rewriter(
+            self._summary, views, config, use_catalog=use_catalog
+        )
+        self._planner = Planner(self._rewriter)
+        self._view_serial = 0
+
+    # ------------------------------------------------------------------ #
+    # construction variants
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_summary(
+        cls,
+        summary: Summary,
+        views: ViewSet | Iterable[MaterializedView] = (),
+        config: Optional["RewritingConfig"] = None,
+        use_catalog: bool = True,
+    ) -> "Database":
+        """A document-less session over a bare summary.
+
+        What the rewriting experiments use: views stay unmaterialised, so
+        :meth:`rewrite` / :meth:`rewrite_many` and ``EXPLAIN`` work but
+        executing plans does not (there are no extents to scan).
+        """
+        return cls(
+            document=None,
+            views=views,
+            config=config,
+            summary=summary,
+            use_catalog=use_catalog,
+        )
+
+    @classmethod
+    def _wrap(
+        cls, rewriter: Rewriter, document: Optional[XMLDocument]
+    ) -> "Database":
+        """Adopt an existing rewriter (and its catalog) without rebuilding."""
+        database = cls.__new__(cls)
+        database._document = document
+        database._summary = rewriter.summary
+        database._rewriter = rewriter
+        database._planner = Planner(rewriter)
+        database._view_serial = 0
+        return database
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        """Persist the session: summary, views *with* extents, document.
+
+        The payload wraps the same versioned catalog snapshot the parallel
+        batch machinery shares (:meth:`ViewCatalog.save`), with extents kept
+        — a loaded database answers queries immediately.  Load it back with
+        :meth:`load`.
+        """
+        catalog = self._rewriter.catalog
+        if catalog is None:
+            raise SessionError(
+                "a use_catalog=False database has no catalog snapshot to save"
+            )
+        catalog.statistics()  # price plans identically after a reload
+        payload = {
+            "format": DATABASE_FORMAT_VERSION,
+            "catalog": catalog,
+            "document": self._document,
+            "config": self._rewriter.config,
+        }
+        Path(path).write_bytes(pickle.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Database":
+        """Load a session persisted with :meth:`save`.
+
+        Bare :meth:`ViewCatalog.save` snapshots are accepted too (the
+        document comes back as ``None``; extents are whatever the snapshot
+        kept).  The persisted catalog is adopted as-is — summary, views,
+        annotated prototypes and statistics are not re-derived.
+        """
+        try:
+            payload = pickle.loads(Path(path).read_bytes())
+        except Exception as exc:
+            raise SessionError(f"cannot read database file {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "format" not in payload:
+            raise SessionError(f"{path} is not a persisted database")
+        if payload["format"] == DATABASE_FORMAT_VERSION:
+            catalog = payload.get("catalog")
+            document = payload.get("document")
+            config = payload.get("config")
+        elif payload["format"] == CATALOG_FORMAT_VERSION:
+            # a bare catalog snapshot (already decoded — no second read)
+            catalog = payload.get("catalog")
+            document = None
+            config = None
+        else:
+            raise SessionError(
+                f"{path} has unsupported snapshot format {payload['format']!r}"
+            )
+        if not isinstance(catalog, ViewCatalog):
+            raise SessionError(f"{path} does not contain a view catalog")
+        return cls._wrap(Rewriter.from_catalog(catalog, config), document)
+
+    # ------------------------------------------------------------------ #
+    # owned state
+    # ------------------------------------------------------------------ #
+    @property
+    def document(self) -> Optional[XMLDocument]:
+        """The loaded document (None for summary-only sessions)."""
+        return self._document
+
+    @property
+    def summary(self) -> Summary:
+        """The structural summary every search and containment test uses."""
+        return self._summary
+
+    @property
+    def views(self) -> ViewSet:
+        """The live view set (mutate through :meth:`create_view` / :meth:`drop_view`)."""
+        return self._rewriter.views
+
+    @property
+    def catalog(self) -> Optional[ViewCatalog]:
+        """The shared, incrementally-maintained view catalog."""
+        return self._rewriter.catalog
+
+    @property
+    def rewriter(self) -> Rewriter:
+        """The owned rewriting engine (an internal; prefer the query API)."""
+        return self._rewriter
+
+    @property
+    def planner(self) -> Planner:
+        """The owned cost-based planner (an internal; prefer the query API)."""
+        return self._planner
+
+    # ------------------------------------------------------------------ #
+    # view DDL
+    # ------------------------------------------------------------------ #
+    def _next_view_name(self) -> str:
+        while True:
+            self._view_serial += 1
+            name = f"view{self._view_serial}"
+            if name not in self.views:
+                return name
+
+    def create_view(
+        self,
+        pattern: TreePattern | str,
+        name: Optional[str] = None,
+        materialize: bool = True,
+    ) -> MaterializedView:
+        """Declare (and by default materialise) one more view.
+
+        ``pattern`` may be a :class:`TreePattern` or pattern-DSL text; the
+        view is materialised over the session's document unless
+        ``materialize=False`` (or the session has no document).  The shared
+        catalog is patched incrementally — the other views' entries and
+        index postings are untouched.
+        """
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern, name=name or self._next_view_name())
+        view_name = name or pattern.name
+        view = MaterializedView(
+            pattern,
+            self._document if materialize and self._document is not None else None,
+            name=view_name,
+        )
+        self.views.add(view)
+        self._rewriter.notify_view_added(view)
+        return view
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view; the catalog indexes are patched, not rebuilt."""
+        if name not in self.views:
+            raise KeyError(f"unknown view {name!r}")
+        self.views.remove(name)
+        self._rewriter.notify_view_removed(name)
+
+    # ------------------------------------------------------------------ #
+    # query lifecycle
+    # ------------------------------------------------------------------ #
+    def _as_pattern(self, query: TreePattern | str, name: Optional[str]) -> TreePattern:
+        if isinstance(query, str):
+            return parse_pattern(query, name=name or "query")
+        return query
+
+    def prepare(
+        self, query: TreePattern | str, name: Optional[str] = None
+    ) -> PreparedQuery:
+        """Parse + rewrite + plan once; run (and explain) many times."""
+        return PreparedQuery(self, self._as_pattern(query, name))
+
+    def query(self, query: TreePattern | str, name: Optional[str] = None) -> Relation:
+        """One-shot sugar: prepare and run in a single call."""
+        return self.prepare(query, name).run()
+
+    def explain(
+        self,
+        query: TreePattern | str,
+        analyze: bool = False,
+        name: Optional[str] = None,
+    ) -> ExplainReport:
+        """Sugar for ``db.prepare(query).explain(analyze=...)``."""
+        return self.prepare(query, name).explain(analyze=analyze)
+
+    def query_many(
+        self,
+        queries: Iterable[TreePattern | str],
+        workers: int = 1,
+        config: Optional["RewritingConfig"] = None,
+    ) -> list[Relation]:
+        """Answer a whole workload, in input order.
+
+        The rewriting phase runs through :meth:`Rewriter.rewrite_many` —
+        with ``workers > 1`` it is sharded over the batch engine's
+        *persistent* process pool, which stays warm across calls until
+        :meth:`close`.  Execution of the chosen plans stays in this process
+        (worker snapshots carry no extents).  Raises
+        :class:`~repro.errors.RewritingError` on the first query with no
+        equivalent rewriting.
+        """
+        patterns = [self._as_pattern(query, None) for query in queries]
+        outcomes = self._rewriter.rewrite_many(patterns, config, workers=workers)
+        results = []
+        for pattern, outcome in zip(patterns, outcomes):
+            if not outcome.found:
+                raise RewritingError(
+                    f"query {pattern.name!r} has no equivalent rewriting over "
+                    f"views {sorted(self.views.names)}"
+                )
+            planned = self._planner.rank(outcome)[0]
+            executor = PlanExecutor(self.views)
+            results.append(executor.execute(planned.rewriting.plan))
+        return results
+
+    # rewriting-layer passthroughs (experiments measure these directly)
+    def rewrite(self, query: TreePattern | str) -> "RewriteOutcome":
+        """All equivalent rewritings of one query (no execution)."""
+        return self._rewriter.rewrite(self._as_pattern(query, None))
+
+    def rewrite_many(
+        self,
+        queries: Iterable[TreePattern | str],
+        workers: int = 1,
+        config: Optional["RewritingConfig"] = None,
+    ) -> list["RewriteOutcome"]:
+        """Batch rewriting without execution (the Figure 15 measurement)."""
+        patterns = [self._as_pattern(query, None) for query in queries]
+        return self._rewriter.rewrite_many(patterns, config, workers=workers)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release pooled resources (idempotent; the session stays usable —
+        a later ``query_many(workers=N)`` simply starts a fresh pool)."""
+        self._rewriter.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        doc = self._document.name if self._document is not None else None
+        return (
+            f"<Database document={doc!r} summary={self._summary.name!r} "
+            f"views={len(self.views)}>"
+        )

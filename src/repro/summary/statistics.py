@@ -185,16 +185,37 @@ class Statistics:
         """
         statistics = cls(summary)
         for view, pattern in pairs:
-            if view.is_materialized:
-                statistics.observe_view(view)
-            else:
-                statistics.set_view_rows(
-                    view.name,
-                    statistics.estimate_pattern_rows(pattern),
-                    exact=False,
-                )
-                statistics._view_sorted[view.name] = view.dewey_sort_column()
+            statistics.observe_annotated(view, pattern)
         return statistics
+
+    def observe_annotated(
+        self, view: "MaterializedView", pattern: "TreePattern"
+    ) -> None:
+        """Record one view using its already-annotated pattern.
+
+        The single-view form of :meth:`with_annotated_views`, used by the
+        incremental catalog maintenance path: adding a view to a built
+        catalog updates the cached statistics in place instead of
+        rebuilding the whole snapshot.
+        """
+        if view.is_materialized:
+            self.observe_view(view)
+        else:
+            self.set_view_rows(
+                view.name, self.estimate_pattern_rows(pattern), exact=False
+            )
+            self._view_sorted[view.name] = view.dewey_sort_column()
+
+    def forget_view(self, name: str) -> None:
+        """Drop every recorded fact about the named view (missing is fine).
+
+        The removal counterpart of :meth:`observe_view` /
+        :meth:`observe_annotated` — incremental catalog maintenance patches
+        a dropped view out of the statistics instead of rebuilding them.
+        """
+        self._view_rows.pop(name, None)
+        self._view_exact.pop(name, None)
+        self._view_sorted.pop(name, None)
 
     def observe_view(self, view: "MaterializedView") -> None:
         """Record a view's extent size (exact when materialised).

@@ -147,11 +147,28 @@ class ViewCatalog:
         self.views: list[MaterializedView] = list(views)
         self._entries: list[_ViewEntry] = []
         self._statistics: Optional[Statistics] = None
+        self.entry_build_count = 0
+        """How many per-view entries (prototype candidate + annotation +
+        index keys) this catalog has built over its lifetime.  The
+        incremental-maintenance contract is observable here: adding or
+        removing one view among N must bump this by at most one, never N —
+        the other entries are patched around, not rebuilt."""
         for view in self.views:
-            candidate = initial_candidate(view)
-            annotate_paths(candidate.pattern, summary)
-            self._entries.append(_ViewEntry(view, candidate, self.index))
+            self._entries.append(self._build_entry(view))
         self._reindex()
+
+    def __setstate__(self, state):
+        # snapshots written before the counter existed (format 1 predates
+        # it) must keep loading — and their entries *were* built, once each
+        self.__dict__.update(state)
+        self.__dict__.setdefault("entry_build_count", len(self._entries))
+
+    def _build_entry(self, view: MaterializedView) -> _ViewEntry:
+        """The query-independent per-view work: prototype + annotation."""
+        candidate = initial_candidate(view)
+        annotate_paths(candidate.pattern, self.summary)
+        self.entry_build_count += 1
+        return _ViewEntry(view, candidate, self.index)
 
     def _reindex(self) -> None:
         """(Re)build the inverted indexes from the entry list."""
@@ -170,6 +187,70 @@ class ViewCatalog:
                     self._by_path_attribute.setdefault(
                         (number, attribute), []
                     ).append(position)
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance (view DDL)
+    # ------------------------------------------------------------------ #
+    def add_view(self, view: MaterializedView) -> None:
+        """Catalogue one more view by patching the indexes in place.
+
+        Only the new view's entry is built (one prototype annotation); the
+        existing entries and their index postings are untouched.  The cached
+        statistics snapshot, when already built, is extended with the new
+        view instead of being recomputed.
+        """
+        if view.name in self._by_name:
+            raise ReproError(f"a view named {view.name!r} is already catalogued")
+        entry = self._build_entry(view)
+        position = len(self._entries)
+        self.views.append(view)
+        self._entries.append(entry)
+        self._by_root_label.setdefault(view.pattern.root.label, []).append(position)
+        self._by_name[view.name] = position
+        for number in entry.related_hits:
+            self._by_related_path.setdefault(number, []).append(position)
+        for number, attributes in entry.attributes_by_path.items():
+            for attribute in attributes:
+                self._by_path_attribute.setdefault((number, attribute), []).append(
+                    position
+                )
+        if self._statistics is not None:
+            self._statistics.observe_annotated(view, entry.candidate.pattern)
+
+    def remove_view(self, name: str) -> None:
+        """De-catalogue a view by patching the indexes in place.
+
+        The view's postings are dropped and later positions shifted down —
+        pure index surgery, identical to what a from-scratch rebuild over
+        the remaining views would produce (the entry list keeps its order),
+        but without re-annotating a single surviving entry.
+        """
+        try:
+            position = self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown view {name!r}") from None
+        del self.views[position]
+        del self._entries[position]
+        for postings_by_key in (
+            self._by_root_label,
+            self._by_related_path,
+            self._by_path_attribute,
+        ):
+            empty = []
+            for key, postings in postings_by_key.items():
+                postings[:] = [
+                    p - 1 if p > position else p for p in postings if p != position
+                ]
+                if not postings:
+                    empty.append(key)
+            for key in empty:
+                del postings_by_key[key]
+        del self._by_name[name]
+        for other, p in self._by_name.items():
+            if p > position:
+                self._by_name[other] = p - 1
+        if self._statistics is not None:
+            self._statistics.forget_view(name)
 
     # ------------------------------------------------------------------ #
     # indexed lookups

@@ -23,6 +23,7 @@ from check_doc_links import broken_links, doc_files  # noqa: E402
 # the packages the README architecture diagram names (plus the substrate
 # and harness packages it references in prose)
 DIAGRAM_MODULES = [
+    "session",
     "xmltree",
     "patterns",
     "summary",
@@ -36,7 +37,14 @@ DIAGRAM_MODULES = [
     "experiments",
 ]
 
-EXPECTED_DOCS = ["index.md", "architecture.md", "cost-model.md", "containment.md", "benchmarks.md"]
+EXPECTED_DOCS = [
+    "index.md",
+    "api.md",
+    "architecture.md",
+    "cost-model.md",
+    "containment.md",
+    "benchmarks.md",
+]
 
 
 def test_docs_tree_is_complete():
@@ -71,6 +79,6 @@ def test_architecture_doc_covers_every_diagram_module():
 
 def test_readme_links_into_the_docs_tree():
     readme = (ROOT / "README.md").read_text(encoding="utf-8")
-    for target in ["docs/architecture.md", "docs/cost-model.md",
+    for target in ["docs/api.md", "docs/architecture.md", "docs/cost-model.md",
                    "docs/containment.md", "docs/benchmarks.md"]:
         assert target in readme, f"README does not link {target}"

@@ -1,7 +1,8 @@
 """Tier-1 doctest runner for the public API surface.
 
-The entry points of the pipeline — ``Rewriter``, ``ViewCatalog``,
-``Planner``, ``PlanExecutor``, ``BatchEngine`` — carry executable ``>>>``
+The entry points of the pipeline — ``Database``, ``Rewriter``,
+``ViewCatalog``, ``Planner``, ``PlanExecutor``, ``BatchEngine`` — carry
+executable ``>>>``
 examples in their docstrings (they double as the quick-start snippets the
 docs link to).  This module runs them on every tier-1 invocation; the CI
 ``docs`` job additionally runs ``pytest --doctest-modules`` over the same
@@ -18,6 +19,7 @@ import repro.algebra.execution
 import repro.planning.planner
 import repro.rewriting.batch
 import repro.rewriting.rewriter
+import repro.session.database
 import repro.views.catalog
 
 DOCTEST_MODULES = [
@@ -25,6 +27,7 @@ DOCTEST_MODULES = [
     repro.planning.planner,
     repro.rewriting.batch,
     repro.rewriting.rewriter,
+    repro.session.database,
     repro.views.catalog,
 ]
 """The curated doctest list — mirrored by the CI docs job; keep in sync."""
