@@ -24,6 +24,7 @@ debugging oracle the A/B tests compare against.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass
 from typing import Mapping, Optional
@@ -44,7 +45,8 @@ from repro.algebra.operators import (
     ViewScan,
 )
 from repro.algebra.tuples import Column, Relation, as_dewey
-from repro.errors import AlgebraError, PlanExecutionError
+from repro.algebra.tuples import _hashable as _row_key
+from repro.errors import AlgebraError, PlanExecutionError, ReproError
 from repro.patterns.pattern import Axis
 from repro.xmltree.ids import DeweyID
 from repro.xmltree.node import XMLNode
@@ -644,10 +646,84 @@ class PlanExecutor:
         if not plan.plans:
             raise PlanExecutionError("a union plan needs at least one branch")
         relations = [self.execute(branch) for branch in plan.plans]
+        merged = self._merge_union(relations)
+        if merged is not None:
+            return merged
         result = relations[0]
         for relation in relations[1:]:
             result = result.union(relation)
         return result.distinct()
+
+    def _merge_union(self, relations: list[Relation]) -> Optional[Relation]:
+        """Ordered k-way union merge, when every branch shares the sort column.
+
+        Union set semantics never needed order, so ``UnionPlan`` used to drop
+        the ``sorted_by`` annotation unconditionally — forcing a re-sort on
+        any staircase merge join consuming the union.  When every branch
+        arrives Dewey-sorted on the same column *position*, a
+        :func:`heapq.merge` over the branches produces the union already in
+        document order, so the annotation survives.  Duplicate elimination
+        stays exact with bounded memory: duplicate rows carry equal sort
+        identifiers, so they always land inside the same identifier run and
+        a per-run seen-set suffices.  Rows with a ``⊥`` sort value (which
+        the annotation says nothing about) are emitted first, deduplicated
+        globally — the same null placement ``sorted_in_dewey_order`` uses.
+        Returns ``None`` when the branches do not share a sort column (or a
+        sort value refuses Dewey coercion): the caller falls back to the
+        order-blind union, results identical.
+        """
+        first = relations[0]
+        if first.sorted_by is None:
+            return None
+        sort_index = first.column_index(first.sorted_by)
+        arity = first.arity
+        for relation in relations:
+            if (
+                relation.arity != arity
+                or relation.sorted_by is None
+                or relation.column_index(relation.sorted_by) != sort_index
+            ):
+                return None
+        null_rows: list[tuple] = []
+        keyed_streams: list[list[tuple[tuple, tuple]]] = []
+        try:
+            for relation in relations:
+                keyed = []
+                for row in relation.rows:
+                    identifier = as_dewey(row[sort_index])
+                    if identifier is None:
+                        # ⊥, or a node with no assigned identifier — both
+                        # are nulls to sorted_in_dewey_order, so both sort
+                        # ahead of every real identifier here too
+                        null_rows.append(row)
+                    else:
+                        keyed.append((identifier.components, row))
+                keyed_streams.append(keyed)
+        except ReproError:
+            # a mis-annotated branch (non-Dewey sort values, AlgebraError or
+            # a malformed identifier string): fall back, order-blind
+            return None
+        result = Relation(first.columns)
+        result.sorted_by = first.sorted_by
+        seen: set = set()
+        for row in null_rows:
+            key = _row_key(row)
+            if key not in seen:
+                seen.add(key)
+                result.rows.append(row)
+        current_components: Optional[tuple] = None
+        run_seen: set = set()
+        for components, row in heapq.merge(
+            *keyed_streams, key=lambda item: item[0]
+        ):
+            if components != current_components:
+                current_components = components
+                run_seen = set()
+            key = _row_key(row)
+            if key not in run_seen:
+                run_seen.add(key)
+                result.rows.append(row)
+        return result
 
 
 def _group_key(value):

@@ -109,7 +109,11 @@ def plan_sorted_on(
       and ``IdEqualityJoin`` preserve their left input's order;
     * ``Selection`` / ``Projection`` (column kept) / ``Unnest`` /
       ``ContentNavigation`` / ``ParentIdDerivation`` preserve order;
-    * everything else (unions above all) is treated as unsorted.
+    * ``UnionPlan`` preserves a column every branch is provably sorted on
+      (the executor's ordered k-way merge; the run-time rule also accepts
+      same-*position* columns under different names, which the static
+      analysis conservatively treats as unsorted);
+    * everything else is treated as unsorted.
     """
     if isinstance(operator, ViewScan):
         alias_prefix = f"{operator.effective_alias}."
@@ -152,6 +156,16 @@ def plan_sorted_on(
         if column == operator.new_column:
             return False
         return plan_sorted_on(operator.child, column, statistics)
+    if isinstance(operator, UnionPlan):
+        # the executor's ordered k-way merge keeps the annotation when every
+        # branch is sorted on the same column *position*; statically only
+        # the same-name case is provable (branches scanning different views
+        # qualify different alias prefixes), so this under-claims — a
+        # run-time annotation the analysis cannot see only over-prices
+        return bool(operator.plans) and all(
+            plan_sorted_on(branch, column, statistics)
+            for branch in operator.plans
+        )
     return False
 
 

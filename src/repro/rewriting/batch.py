@@ -20,6 +20,16 @@ fast path (catalog + memo, PR 1) stays exactly as it was; with ``workers >
    (:func:`~repro.containment.core.merge_containment_delta`), so a
    follow-up sequential run starts warm.
 
+With ``run(..., execute=True)`` the workers additionally *plan and execute*
+the cheapest rewriting: the engine publishes every materialised extent to
+shared memory once per view-set version
+(:class:`~repro.views.extent_store.ExtentStore`), workers attach the
+segments by manifest — no extent is ever copied per worker or per task —
+and each shard streams its result relations back through the same columnar
+codec.  That turns the rewrite-only parallelism of PR 2 into end-to-end
+parallel query answering; ``Database.query_many(..., execute=True)`` is the
+session-level entry point.
+
 Rewriting is pure CPU-bound Python, so processes — not threads — are the
 only way to scale it with cores.  Every worker produces the outcomes the
 sequential path would (the search is deterministic given query, summary,
@@ -41,17 +51,52 @@ import os
 import tempfile
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.algebra.tuples import Relation
 from repro.containment.core import merge_containment_delta
+from repro.errors import ReproError
 from repro.patterns.pattern import TreePattern
 from repro.rewriting.algorithm import RewritingConfig
+from repro.views.extent_store import (
+    AttachedExtents,
+    ExtentManifest,
+    ExtentStore,
+    decode_relation,
+    encode_relation,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rewriting.rewriter import Rewriter, RewriteOutcome
 
-__all__ = ["BatchEngine", "resolve_worker_count"]
+__all__ = ["BatchEngine", "QueryExecution", "resolve_worker_count"]
+
+
+@dataclass
+class QueryExecution:
+    """One query answered end to end (rewritten, planned *and* executed).
+
+    What ``run(..., execute=True)`` returns per query, whether the plan ran
+    in a pool worker (over :class:`~repro.views.extent_store.AttachedExtents`)
+    or sequentially in the parent.  ``result`` is ``None`` when the query has
+    no equivalent rewriting (``found`` is False) — callers such as
+    ``Database.query_many`` decide whether that is an error.
+    """
+
+    query: TreePattern
+    found: bool
+    result: Optional[Relation]
+    plan_description: Optional[str]
+    """The chosen plan's cost-annotated rendering (compare across modes with
+    alias-insensitive fingerprints — scan aliases are per-process counters)."""
+
+    plan_cost: Optional[float]
+    """The chosen plan's estimated cost (identical across execution modes:
+    workers price plans from the snapshot's statistics)."""
+
+    views_used: tuple[str, ...]
 
 
 def _remove_quietly(name: str) -> None:
@@ -86,6 +131,9 @@ def resolve_worker_count(workers: Optional[int]) -> int:
 # worker-process side
 # --------------------------------------------------------------------------- #
 _WORKER_REWRITER: Optional["Rewriter"] = None
+_WORKER_PLANNER = None
+_WORKER_MANIFEST: Optional[ExtentManifest] = None
+_WORKER_EXTENTS: Optional[AttachedExtents] = None
 
 
 def _worker_init(
@@ -93,6 +141,7 @@ def _worker_init(
     config: RewritingConfig,
     decisions_enabled: bool,
     models_enabled: bool,
+    manifest: Optional[ExtentManifest] = None,
 ) -> None:
     """Process-pool initializer: load the shared catalog snapshot once.
 
@@ -102,8 +151,13 @@ def _worker_init(
     :func:`~repro.containment.core.containment_cache_disabled` must be
     un-memoised in the workers too, or the "honest baseline" context would
     silently measure cache-warm work.
+
+    ``manifest`` (present when the pool will also *execute* plans) names the
+    shared-memory extent segments; attaching — and above all decoding — is
+    deferred to the first execute task, so rewrite-only batches through an
+    execute-capable pool never pay for extents.
     """
-    global _WORKER_REWRITER
+    global _WORKER_REWRITER, _WORKER_PLANNER, _WORKER_MANIFEST, _WORKER_EXTENTS
     from repro.canonical.model import canonical_model_cache
     from repro.containment.core import containment_cache
     from repro.rewriting.rewriter import Rewriter
@@ -113,6 +167,11 @@ def _worker_init(
     canonical_model_cache().enabled = models_enabled
     catalog = ViewCatalog.load(catalog_path)
     _WORKER_REWRITER = Rewriter.from_catalog(catalog, config)
+    _WORKER_PLANNER = None
+    _WORKER_MANIFEST = manifest
+    if _WORKER_EXTENTS is not None:  # pragma: no cover - re-init safety
+        _WORKER_EXTENTS.close()
+    _WORKER_EXTENTS = None
 
 
 def _worker_run(
@@ -127,6 +186,56 @@ def _worker_run(
     ]
     delta = export_containment_delta(_WORKER_REWRITER.summary)
     return outcomes, delta
+
+
+def _worker_execute(
+    indexed_queries: list[tuple[int, TreePattern]],
+) -> tuple[list[tuple[int, Optional[tuple]]], list]:
+    """Rewrite, plan and execute one shard over the attached extents.
+
+    Per query the worker returns ``(index, None)`` when no rewriting exists,
+    or ``(index, (encoded result, plan description, plan cost, views used))``
+    — the result relation travels back through the same pickle-free columnar
+    codec the extents arrived through, so a row holding a content reference
+    never drags the whole document across the pipe.
+    """
+    global _WORKER_PLANNER, _WORKER_EXTENTS
+    from repro.containment.core import export_containment_delta
+
+    assert _WORKER_REWRITER is not None, "worker used before initialisation"
+    if _WORKER_MANIFEST is None:
+        raise ReproError("this worker pool was not primed with an extent manifest")
+    if _WORKER_EXTENTS is None:
+        _WORKER_EXTENTS = AttachedExtents.attach(_WORKER_MANIFEST)
+    if _WORKER_PLANNER is None:
+        from repro.planning.planner import Planner
+
+        # prices plans from the snapshot's statistics — the identical
+        # numbers the parent's planner reads, so the chosen plan matches
+        _WORKER_PLANNER = Planner(_WORKER_REWRITER)
+    from repro.algebra.execution import PlanExecutor
+
+    results: list[tuple[int, Optional[tuple]]] = []
+    for index, query in indexed_queries:
+        outcome = _WORKER_REWRITER.rewrite(query)
+        if not outcome.found:
+            results.append((index, None))
+            continue
+        planned = _WORKER_PLANNER.rank(outcome)[0]
+        relation = PlanExecutor(_WORKER_EXTENTS).execute(planned.rewriting.plan)
+        results.append(
+            (
+                index,
+                (
+                    encode_relation(relation),
+                    planned.describe(),
+                    planned.cost,
+                    tuple(planned.rewriting.views_used),
+                ),
+            )
+        )
+    delta = export_containment_delta(_WORKER_REWRITER.summary)
+    return results, delta
 
 
 # --------------------------------------------------------------------------- #
@@ -191,6 +300,8 @@ class BatchEngine:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_key: Optional[tuple] = None
         self._pool_finalizer = None
+        self._store: Optional[ExtentStore] = None
+        self._planner = None
 
     # ------------------------------------------------------------------ #
     def _snapshot_path(self) -> Path:
@@ -218,7 +329,11 @@ class BatchEngine:
         self._snapshot_version = version
 
     def _ensure_pool(
-        self, workers: int, path: Path, config: RewritingConfig
+        self,
+        workers: int,
+        path: Path,
+        config: RewritingConfig,
+        manifest: Optional[ExtentManifest] = None,
     ) -> ProcessPoolExecutor:
         """The persistent worker pool, (re)created only when its key changes.
 
@@ -227,9 +342,11 @@ class BatchEngine:
         catalog load once, not once per batch.  The key captures everything
         the workers were primed with by the initializer — worker count,
         snapshot version (view-set mutations invalidate the loaded catalog),
-        the search config, and both memo switches — so a change in any of
-        them recycles the pool instead of serving stale state.  Call
-        :meth:`close` (or ``Database.close()``) to release the processes.
+        the search config, both memo switches, and the extent manifest the
+        workers may attach for execution (keyed by store token and published
+        version) — so a change in any of them recycles the pool instead of
+        serving stale state.  Call :meth:`close` (or ``Database.close()``)
+        to release the processes.
         """
         from repro.canonical.model import canonical_model_cache
         from repro.containment.core import containment_cache
@@ -241,10 +358,11 @@ class BatchEngine:
             _config_fingerprint(config),
             containment_cache().enabled,
             canonical_model_cache().enabled,
+            (manifest.token, manifest.version) if manifest is not None else None,
         )
         if self._pool is not None and self._pool_key == key:
             return self._pool
-        self.close()
+        self._close_pool()
         self._pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
@@ -253,20 +371,15 @@ class BatchEngine:
                 config,
                 containment_cache().enabled,
                 canonical_model_cache().enabled,
+                manifest,
             ),
         )
         self._pool_key = key
         self._pool_finalizer = weakref.finalize(self, _shutdown_quietly, self._pool)
         return self._pool
 
-    def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent).
-
-        The engine stays usable — the next parallel :meth:`run` simply
-        starts a fresh pool.  Owned snapshot files are kept until the
-        engine itself is garbage-collected (they are what makes the next
-        pool start cheap when the view set has not changed).
-        """
+    def _close_pool(self) -> None:
+        """Shut down only the worker pool (pool-recycling internal)."""
         if self._pool_finalizer is not None:
             self._pool_finalizer.detach()
             self._pool_finalizer = None
@@ -275,35 +388,119 @@ class BatchEngine:
             self._pool = None
             self._pool_key = None
 
+    def close(self) -> None:
+        """Release the worker pool and the shared extent segments (idempotent).
+
+        The engine stays usable — the next parallel :meth:`run` simply
+        starts a fresh pool (and, for ``execute=True`` runs, republishes the
+        extents).  Owned snapshot files are kept until the engine itself is
+        garbage-collected (they are what makes the next pool start cheap
+        when the view set has not changed).
+        """
+        self._close_pool()
+        if self._store is not None:
+            self._store.release()
+            self._store = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def extent_store(self) -> Optional[ExtentStore]:
+        """The engine-owned shared extent store (None until first execute)."""
+        return self._store
+
+    def _ensure_store(self) -> ExtentStore:
+        if self._store is None:
+            self._store = ExtentStore()
+        return self._store
+
+    def _ensure_planner(self):
+        """The parent-side planner for sequential ``execute=True`` runs."""
+        if self._planner is None:
+            from repro.planning.planner import Planner
+
+            self._planner = Planner(self.rewriter)
+        return self._planner
+
+    def _execute_sequentially(
+        self, queries: Sequence[TreePattern], config: RewritingConfig
+    ) -> list[QueryExecution]:
+        """The one-process execute path (and the parallel path's oracle)."""
+        from repro.algebra.execution import PlanExecutor
+
+        planner = self._ensure_planner()
+        executions = []
+        for query in queries:
+            outcome = self.rewriter.rewrite(query, config)
+            if not outcome.found:
+                executions.append(QueryExecution(query, False, None, None, None, ()))
+                continue
+            planned = planner.rank(outcome)[0]
+            relation = PlanExecutor(self.rewriter.views).execute(
+                planned.rewriting.plan
+            )
+            executions.append(
+                QueryExecution(
+                    query=query,
+                    found=True,
+                    result=relation,
+                    plan_description=planned.describe(),
+                    plan_cost=planned.cost,
+                    views_used=tuple(planned.rewriting.views_used),
+                )
+            )
+        return executions
+
     def run(
         self,
         queries: Sequence[TreePattern],
         config: Optional[RewritingConfig] = None,
-    ) -> list["RewriteOutcome"]:
-        """Rewrite the workload; outcomes come back in input order."""
+        execute: bool = False,
+    ) -> list["RewriteOutcome"] | list[QueryExecution]:
+        """Rewrite (and optionally execute) the workload, in input order.
+
+        With ``execute=False`` (the default) the workers only rewrite and
+        the caller gets :class:`RewriteOutcome` objects, exactly as before.
+        With ``execute=True`` each worker also *plans and executes* the
+        cheapest rewriting over the shared extent store and the caller gets
+        :class:`QueryExecution` objects: extents are published to shared
+        memory once per view-set version (:meth:`ExtentStore.publish`),
+        workers attach them by manifest, and result relations stream back
+        shard by shard through the columnar codec — end-to-end parallel
+        query answering with no per-worker extent copies.
+        """
         queries = list(queries)
         config = config or self.rewriter.config
         workers = min(self.workers, len(queries)) or 1
-        if workers <= 1:
-            return [self.rewriter.rewrite(query, config) for query in queries]
-
         catalog = self.rewriter.catalog
-        if catalog is None:
-            # the parallel path shares views through the catalog snapshot;
-            # a rewriter that disabled the catalog falls back to sequential
+        if workers <= 1 or catalog is None:
+            # one worker, or no catalog snapshot for workers to share
+            # (use_catalog=False): stay in-process, results identical
+            if execute:
+                return self._execute_sequentially(queries, config)
             return [self.rewriter.rewrite(query, config) for query in queries]
 
         indexed = list(enumerate(queries))
         shards = [indexed[shard::workers] for shard in range(workers)]
         path = self._snapshot_path()
         self._ensure_snapshot(path)
+        manifest: Optional[ExtentManifest] = None
+        if execute:
+            manifest = self._ensure_store().publish(self.rewriter.views)
+        elif (
+            self._store is not None
+            and self._store.version == self.rewriter.views.version
+        ):
+            # a rewrite-only batch between execute batches: keep the warm
+            # execute-capable pool instead of recycling on manifest identity
+            manifest = self._store.manifest
         # the pool is sized to the engine's configured worker count even when
         # this batch needs fewer shards, so alternating batch sizes keep one
         # warm pool instead of recycling it on every size change
-        pool = self._ensure_pool(self.workers, path, config)
-        by_index: dict[int, "RewriteOutcome"] = {}
+        pool = self._ensure_pool(self.workers, path, config, manifest)
+        worker_task = _worker_execute if execute else _worker_run
+        by_index: dict[int, object] = {}
         try:
-            for outcomes, delta in pool.map(_worker_run, shards):
+            for outcomes, delta in pool.map(worker_task, shards):
                 for index, outcome in outcomes:
                     by_index[index] = outcome
                 merge_containment_delta(self.rewriter.summary, delta)
@@ -313,6 +510,28 @@ class BatchEngine:
             # this engine replaced healed by construction)
             self.close()
             raise
+
+        if execute:
+            executions = []
+            for index, query in enumerate(queries):
+                payload = by_index[index]
+                if payload is None:
+                    executions.append(
+                        QueryExecution(query, False, None, None, None, ())
+                    )
+                    continue
+                encoded, description, cost, views_used = payload
+                executions.append(
+                    QueryExecution(
+                        query=query,
+                        found=True,
+                        result=decode_relation(encoded),
+                        plan_description=description,
+                        plan_cost=cost,
+                        views_used=views_used,
+                    )
+                )
+            return executions
 
         results = []
         for index, query in enumerate(queries):

@@ -29,6 +29,7 @@ from repro.views.store import ViewSet
 from repro.views.view import MaterializedView
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rewriting.batch import QueryExecution
     from repro.views.catalog import ViewCatalog
 
 __all__ = ["Rewriter", "RewriteOutcome"]
@@ -237,7 +238,8 @@ class Rewriter:
         queries: Iterable[TreePattern],
         config: Optional[RewritingConfig] = None,
         workers: int = 1,
-    ) -> list[RewriteOutcome]:
+        execute: bool = False,
+    ) -> list[RewriteOutcome] | list["QueryExecution"]:
         """Rewrite a whole workload, sharing preprocessing across queries.
 
         The catalog (summary index, per-view annotated candidate prototypes,
@@ -260,17 +262,24 @@ class Rewriter:
         wall-clock time-budget one).  A rewriter built with
         ``use_catalog=False`` has no snapshot for workers to share, so it
         always runs sequentially, whatever ``workers`` says.
+
+        With ``execute=True`` the chosen (minimum-cost) plan of every query
+        is additionally *executed* — in the workers, over the shared extent
+        store, when ``workers > 1`` — and the return value becomes a list of
+        :class:`~repro.rewriting.batch.QueryExecution` instead of outcomes.
+        Result rows are identical to the sequential path's; see the
+        :mod:`~repro.rewriting.batch` notes for how extents are shared.
         """
         queries = list(queries)
-        if workers == 1 or len(queries) <= 1:
-            return [self.rewrite(query, config) for query in queries]
         from repro.rewriting.batch import BatchEngine, resolve_worker_count
 
+        if not execute and (workers == 1 or len(queries) <= 1):
+            return [self.rewrite(query, config) for query in queries]
         if self._batch_engine is None:
             self._batch_engine = BatchEngine(self, workers=workers)
         else:
             self._batch_engine.workers = resolve_worker_count(workers)
-        return self._batch_engine.run(queries, config)
+        return self._batch_engine.run(queries, config, execute=execute)
 
     def rewrite_first(
         self, query: TreePattern

@@ -5,12 +5,18 @@ the query lifecycle (``create_view``/``drop_view`` with incremental catalog
 maintenance, ``prepare``/``query``/``query_many``, structured ``EXPLAIN``).
 """
 
-from repro.session.database import DATABASE_FORMAT_VERSION, Database, PreparedQuery
+from repro.session.database import (
+    DATABASE_FORMAT_VERSION,
+    Database,
+    PlanCache,
+    PreparedQuery,
+)
 from repro.session.explain import ExplainOperator, ExplainReport, build_explain_report
 
 __all__ = [
     "DATABASE_FORMAT_VERSION",
     "Database",
+    "PlanCache",
     "PreparedQuery",
     "ExplainOperator",
     "ExplainReport",

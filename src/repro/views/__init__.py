@@ -12,10 +12,33 @@ A :class:`ViewCatalog` adds the query-independent indexes (root label,
 summary-node hit sets, offered attributes) that let the rewriting search
 generate candidates without scanning and re-annotating the whole view set
 per query.
+
+An :class:`ExtentStore` publishes materialised extents to shared memory
+(once per view-set version) so parallel batch workers can *execute* chosen
+plans by attaching an :class:`ExtentManifest` instead of receiving extent
+copies.
 """
 
 from repro.views.view import IdScheme, MaterializedView
 from repro.views.store import ViewSet
 from repro.views.catalog import CatalogFormatError, ViewCatalog
+from repro.views.extent_store import (
+    AttachedExtents,
+    ExtentManifest,
+    ExtentStore,
+    ExtentStoreError,
+    StaleExtentError,
+)
 
-__all__ = ["CatalogFormatError", "IdScheme", "MaterializedView", "ViewCatalog", "ViewSet"]
+__all__ = [
+    "AttachedExtents",
+    "CatalogFormatError",
+    "ExtentManifest",
+    "ExtentStore",
+    "ExtentStoreError",
+    "IdScheme",
+    "MaterializedView",
+    "StaleExtentError",
+    "ViewCatalog",
+    "ViewSet",
+]

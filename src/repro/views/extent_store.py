@@ -1,0 +1,620 @@
+"""A read-only shared extent store for parallel plan execution.
+
+Parallel batch *rewriting* (PR 2) deliberately strips view extents from the
+catalog snapshots workers load — rewriting only needs the view definitions.
+Executing the chosen plans in the workers needs the extents too, and
+shipping them per task (or per worker) would copy megabytes of rows through
+pickle for every batch.  The :class:`ExtentStore` instead publishes each
+materialised extent **once per view-set version** into a
+:mod:`multiprocessing.shared_memory` segment, in a self-describing columnar
+byte layout (:func:`encode_relation`), and hands workers a tiny picklable
+:class:`ExtentManifest` naming the segments.  Workers attach segments by
+name — no pickled relation ever crosses the pool — and decode each extent
+lazily, at most once per worker per version.
+
+Three contracts matter:
+
+* **publish-once** — :meth:`ExtentStore.publish` is keyed on
+  ``views.version`` (the same counter that invalidates the rewriter's
+  catalog and the batch engine's snapshot); republishing an unchanged view
+  set returns the cached manifest without touching shared memory.
+  :attr:`ExtentStore.publish_count` counts segment creations over the
+  store's lifetime, so tests can assert "exactly once per version".
+* **stale rejection** — publishing a *new* version unlinks the previous
+  segments first, so :meth:`AttachedExtents.attach` on a manifest from a
+  superseded version fails fast with :class:`StaleExtentError` instead of
+  silently serving pre-DDL rows.
+* **refcounted lifecycle** — the store is shared by reference
+  (:meth:`retain` / :meth:`release`); the last release unlinks every
+  segment.  :meth:`~repro.rewriting.batch.BatchEngine.close` (and through
+  it ``Database.close``) drops the owning reference, and a GC finalizer
+  backstops leaked stores so segments never outlive the process quietly.
+
+The codec covers every cell type a :class:`~repro.algebra.tuples.Relation`
+can hold — atoms, ``⊥``, :class:`~repro.xmltree.ids.DeweyID`, nested
+relations and content references.  Content references
+(:class:`~repro.xmltree.node.XMLNode`) are encoded as their subtree (label,
+value, children) plus the root's Dewey ID and rooted path; decoding rebuilds
+an equivalent subtree and re-derives every descendant's identifier and path
+from the root's (children keep their sibling ordinals, so the derived IDs
+equal the originals).  Rebuilt nodes compare equal to the originals under
+the executor's identifier-based semantics; they are *copies*, so mutating
+them never touches the parent process's document.
+"""
+
+from __future__ import annotations
+
+import secrets
+import struct
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Iterator, Optional
+
+from repro.algebra.tuples import Column, Relation
+from repro.errors import ReproError
+from repro.views.store import ViewSet
+from repro.xmltree.ids import DeweyID
+from repro.xmltree.node import XMLNode
+
+__all__ = [
+    "AttachedExtents",
+    "ExtentManifest",
+    "ExtentStore",
+    "ExtentStoreError",
+    "StaleExtentError",
+    "decode_relation",
+    "encode_relation",
+]
+
+
+class ExtentStoreError(ReproError):
+    """Raised when a shared extent cannot be published, attached or decoded."""
+
+
+class StaleExtentError(ExtentStoreError):
+    """Raised when attaching a manifest whose segments were superseded.
+
+    Publishing a new view-set version unlinks the previous version's
+    segments, so a worker holding an old manifest fails here instead of
+    reading pre-DDL extents."""
+
+
+# --------------------------------------------------------------------------- #
+# columnar codec
+# --------------------------------------------------------------------------- #
+_MAGIC = b"RXT1"
+
+_T_NONE = 0
+_T_INT = 1
+_T_BIGINT = 2
+_T_FLOAT = 3
+_T_STR = 4
+_T_DEWEY = 5
+_T_NODE = 6
+_T_NESTED = 7
+
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+
+class _Writer:
+    """Append-only little-endian byte builder."""
+
+    __slots__ = ("buffer",)
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+
+    def u8(self, value: int) -> None:
+        self.buffer.append(value)
+
+    def u32(self, value: int) -> None:
+        self.buffer += struct.pack("<I", value)
+
+    def i64(self, value: int) -> None:
+        self.buffer += struct.pack("<q", value)
+
+    def f64(self, value: float) -> None:
+        self.buffer += struct.pack("<d", value)
+
+    def text(self, value: str) -> None:
+        raw = value.encode("utf-8")
+        self.u32(len(raw))
+        self.buffer += raw
+
+    def optional_text(self, value: Optional[str]) -> None:
+        if value is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.text(value)
+
+
+class _Reader:
+    """Sequential reader over the writer's layout."""
+
+    __slots__ = ("view", "offset")
+
+    def __init__(self, view: memoryview) -> None:
+        self.view = view
+        self.offset = 0
+
+    def u8(self) -> int:
+        value = self.view[self.offset]
+        self.offset += 1
+        return value
+
+    def u32(self) -> int:
+        (value,) = struct.unpack_from("<I", self.view, self.offset)
+        self.offset += 4
+        return value
+
+    def i64(self) -> int:
+        (value,) = struct.unpack_from("<q", self.view, self.offset)
+        self.offset += 8
+        return value
+
+    def f64(self) -> float:
+        (value,) = struct.unpack_from("<d", self.view, self.offset)
+        self.offset += 8
+        return value
+
+    def text(self) -> str:
+        length = self.u32()
+        raw = bytes(self.view[self.offset : self.offset + length])
+        self.offset += length
+        return raw.decode("utf-8")
+
+    def optional_text(self) -> Optional[str]:
+        return self.text() if self.u8() else None
+
+
+def _write_dewey(writer: _Writer, identifier: DeweyID) -> None:
+    components = identifier.components
+    writer.u32(len(components))
+    for component in components:
+        writer.u32(component)
+
+
+def _read_dewey(reader: _Reader) -> DeweyID:
+    depth = reader.u32()
+    return DeweyID(tuple(reader.u32() for _ in range(depth)))
+
+
+def _write_node_tree(writer: _Writer, node: XMLNode) -> None:
+    writer.text(node.label)
+    _write_cell(writer, node.value)
+    writer.u32(len(node.children))
+    for child in node.children:
+        _write_node_tree(writer, child)
+
+
+def _read_node_tree(reader: _Reader) -> XMLNode:
+    label = reader.text()
+    value = _read_cell(reader)
+    node = XMLNode(label, value)
+    for _ in range(reader.u32()):
+        node.append(_read_node_tree(reader))
+    return node
+
+
+def _derive_ids(node: XMLNode, dewey: Optional[DeweyID], path: Optional[str]) -> None:
+    """Re-derive subtree identifiers and paths from the encoded root's.
+
+    A content reference points at a *complete* document node, so its
+    children carry consecutive sibling ordinals starting at 1 — deriving
+    child IDs via :meth:`DeweyID.child` reproduces the original document's
+    identifiers exactly.
+    """
+    node.dewey = dewey
+    node.path = path
+    for ordinal, child in enumerate(node.children, start=1):
+        _derive_ids(
+            child,
+            dewey.child(ordinal) if dewey is not None else None,
+            f"{path}/{child.label}" if path is not None else None,
+        )
+
+
+def _write_cell(writer: _Writer, value) -> None:
+    if value is None:
+        writer.u8(_T_NONE)
+    elif isinstance(value, bool):
+        # bools ride the int lane; True == 1 under relation set semantics
+        writer.u8(_T_INT)
+        writer.i64(int(value))
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            writer.u8(_T_INT)
+            writer.i64(value)
+        else:
+            writer.u8(_T_BIGINT)
+            writer.text(str(value))
+    elif isinstance(value, float):
+        writer.u8(_T_FLOAT)
+        writer.f64(value)
+    elif isinstance(value, str):
+        writer.u8(_T_STR)
+        writer.text(value)
+    elif isinstance(value, DeweyID):
+        writer.u8(_T_DEWEY)
+        _write_dewey(writer, value)
+    elif isinstance(value, XMLNode):
+        writer.u8(_T_NODE)
+        if value.dewey is None:
+            writer.u8(0)
+        else:
+            writer.u8(1)
+            _write_dewey(writer, value.dewey)
+        writer.optional_text(value.path)
+        _write_node_tree(writer, value)
+    elif isinstance(value, Relation):
+        writer.u8(_T_NESTED)
+        _write_relation(writer, value)
+    else:
+        raise ExtentStoreError(
+            f"cell value {value!r} of type {type(value).__name__} cannot be "
+            f"encoded into a shared extent"
+        )
+
+
+def _read_cell(reader: _Reader):
+    tag = reader.u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_INT:
+        return reader.i64()
+    if tag == _T_BIGINT:
+        return int(reader.text())
+    if tag == _T_FLOAT:
+        return reader.f64()
+    if tag == _T_STR:
+        return reader.text()
+    if tag == _T_DEWEY:
+        return _read_dewey(reader)
+    if tag == _T_NODE:
+        dewey = _read_dewey(reader) if reader.u8() else None
+        path = reader.optional_text()
+        node = _read_node_tree(reader)
+        _derive_ids(node, dewey, path)
+        return node
+    if tag == _T_NESTED:
+        return _read_relation(reader)
+    raise ExtentStoreError(f"corrupt shared extent: unknown cell tag {tag}")
+
+
+def _write_relation(writer: _Writer, relation: Relation) -> None:
+    writer.u32(len(relation.columns))
+    for column in relation.columns:
+        writer.text(column.name)
+        writer.text(column.kind)
+        writer.u32(len(column.paths))
+        for path in column.paths:
+            writer.text(path)
+    writer.optional_text(relation.sorted_by)
+    writer.u32(len(relation.rows))
+    for row in relation.rows:
+        for value in row:
+            _write_cell(writer, value)
+
+
+def _read_relation(reader: _Reader) -> Relation:
+    columns = []
+    for _ in range(reader.u32()):
+        name = reader.text()
+        kind = reader.text()
+        paths = tuple(reader.text() for _ in range(reader.u32()))
+        columns.append(Column(name=name, kind=kind, paths=paths))
+    sorted_by = reader.optional_text()
+    row_count = reader.u32()
+    arity = len(columns)
+    relation = Relation(columns)
+    relation.rows = [
+        tuple(_read_cell(reader) for _ in range(arity)) for _ in range(row_count)
+    ]
+    relation.sorted_by = sorted_by
+    return relation
+
+
+def encode_relation(relation: Relation) -> bytes:
+    """Encode a relation into the self-describing columnar byte layout.
+
+    The encoding is pickle-free and position-independent: schema (names,
+    kinds, summary paths), the ``sorted_by`` annotation and every row, with
+    nested relations and content references encoded recursively.
+    :func:`decode_relation` inverts it exactly (content references come back
+    as equivalent rebuilt subtrees — see the module notes).
+    """
+    writer = _Writer()
+    writer.buffer += _MAGIC
+    _write_relation(writer, relation)
+    return bytes(writer.buffer)
+
+
+def decode_relation(payload) -> Relation:
+    """Decode :func:`encode_relation` output (bytes or a memoryview)."""
+    view = memoryview(payload)
+    if bytes(view[:4]) != _MAGIC:
+        raise ExtentStoreError("not a shared extent payload (bad magic)")
+    reader = _Reader(view)
+    reader.offset = 4
+    return _read_relation(reader)
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory publication
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExtentManifest:
+    """The picklable handle workers receive instead of extent copies.
+
+    ``segments`` maps each materialised view to its shared-memory segment
+    name and payload length; ``token`` identifies the publishing store and
+    ``version`` the ``views.version`` the extents were published under —
+    together they key the worker-side attachment cache."""
+
+    token: str
+    version: int
+    segments: tuple[tuple[str, str, int], ...]
+    """``(view name, shared-memory segment name, payload bytes)`` triples."""
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _, _ in self.segments)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(nbytes for _, _, nbytes in self.segments)
+
+
+def _unlink_quietly(segments: dict) -> None:
+    """Finalizer body shared by :meth:`ExtentStore.release` and GC."""
+    for segment in list(segments.values()):
+        try:
+            _retrack(segment)  # see _untrack: unlink() expects a registration
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - already-gone segments are fine
+            pass
+    segments.clear()
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Take a segment out of the process's resource-tracker bookkeeping.
+
+    Until Python 3.13 every ``SharedMemory`` constructor call registers the
+    segment with the per-process resource tracker — *including pure
+    attaches* — and under spawn-style start methods a worker gets its own
+    tracker, which would tear the parent's segments down when the worker
+    exits.  The store instead manages lifetime explicitly: creations and
+    attachments are untracked everywhere (under fork the tracker is shared,
+    so an attach-side unregister would otherwise also clobber the parent's
+    registration and make the eventual unlink a tracker error), and
+    :func:`_unlink_quietly` re-registers just before unlinking so
+    ``SharedMemory.unlink``'s built-in unregister finds its entry.  The
+    tracker still backstops crash windows between those points."""
+    try:  # pragma: no cover - tracker internals differ across versions
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _retrack(segment: shared_memory.SharedMemory) -> None:
+    """Inverse of :func:`_untrack`, called right before unlinking."""
+    try:  # pragma: no cover - tracker internals differ across versions
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class ExtentStore:
+    """Publishes materialised view extents to shared memory, once per version.
+
+    The store is process-local state on the *parent* side; workers only ever
+    see :class:`ExtentManifest` values and attach through
+    :class:`AttachedExtents`.  Lifecycle is refcounted: every co-owner calls
+    :meth:`retain` and :meth:`release`; the last release unlinks all
+    segments.  A freshly constructed store holds one reference (the
+    creator's).
+
+    Example
+    -------
+    >>> from repro import MaterializedView, parse_parenthesized, parse_pattern
+    >>> from repro.views.store import ViewSet
+    >>> doc = parse_parenthesized('site(item(name="pen") item(name="ink"))')
+    >>> views = ViewSet([MaterializedView(parse_pattern("site(//item[ID,V])", name="v"), doc)])
+    >>> store = ExtentStore()
+    >>> manifest = store.publish(views)
+    >>> manifest.view_names
+    ('v',)
+    >>> store.publish(views) is manifest  # unchanged version: cached
+    True
+    >>> attached = AttachedExtents.attach(manifest)
+    >>> len(attached["v"].relation)
+    2
+    >>> attached.close()
+    >>> store.release()
+    """
+
+    def __init__(self) -> None:
+        self.token = secrets.token_hex(8)
+        self.publish_count = 0
+        """Shared-memory segments created over this store's lifetime — the
+        observable publish-once contract: after any number of batches over
+        an unchanged view set this equals the materialised view count."""
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._manifest: Optional[ExtentManifest] = None
+        self._version: Optional[int] = None
+        self._refs = 1
+        self._finalizer = weakref.finalize(self, _unlink_quietly, self._segments)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> Optional[int]:
+        """The ``views.version`` of the currently published extents."""
+        return self._version
+
+    @property
+    def manifest(self) -> Optional[ExtentManifest]:
+        """The current manifest (None before the first publish / after close)."""
+        return self._manifest
+
+    @property
+    def references(self) -> int:
+        """Live co-owner count (0 after the final release)."""
+        return self._refs
+
+    def retain(self) -> "ExtentStore":
+        """Register one more co-owner; pair with :meth:`release`."""
+        if self._refs <= 0:
+            raise ExtentStoreError("cannot retain a released extent store")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the last one unlinks every segment."""
+        if self._refs <= 0:
+            return
+        self._refs -= 1
+        if self._refs == 0:
+            _unlink_quietly(self._segments)
+            self._manifest = None
+            self._version = None
+
+    def publish(self, views: ViewSet) -> ExtentManifest:
+        """Publish every materialised extent, keyed on ``views.version``.
+
+        Unchanged versions return the cached manifest without touching
+        shared memory; a new version unlinks the previous segments first
+        (superseding them — see :class:`StaleExtentError`) and publishes
+        fresh ones.  Unmaterialised views are skipped: they have no extent
+        to scan, in the parent or anywhere else.
+        """
+        if self._refs <= 0:
+            raise ExtentStoreError("cannot publish through a released extent store")
+        version = views.version
+        if self._manifest is not None and self._version == version:
+            return self._manifest
+        _unlink_quietly(self._segments)
+        entries: list[tuple[str, str, int]] = []
+        for view in views:
+            if not view.is_materialized:
+                continue
+            payload = encode_relation(view.relation)
+            segment = shared_memory.SharedMemory(create=True, size=len(payload))
+            _untrack(segment)  # the store owns the unlink, not the tracker
+            segment.buf[: len(payload)] = payload
+            self._segments[view.name] = segment
+            self.publish_count += 1
+            entries.append((view.name, segment.name, len(payload)))
+        self._version = version
+        self._manifest = ExtentManifest(self.token, version, tuple(entries))
+        return self._manifest
+
+    def __repr__(self) -> str:
+        published = len(self._segments)
+        return (
+            f"<ExtentStore token={self.token} version={self._version} "
+            f"segments={published} refs={self._refs}>"
+        )
+
+
+class _AttachedView:
+    """One attached extent: decoded lazily, at most once per attachment."""
+
+    __slots__ = ("name", "_segment", "_nbytes", "_relation")
+
+    def __init__(self, name: str, segment: shared_memory.SharedMemory, nbytes: int):
+        self.name = name
+        self._segment = segment
+        self._nbytes = nbytes
+        self._relation: Optional[Relation] = None
+
+    @property
+    def relation(self) -> Relation:
+        """The decoded extent (the executor's ``views[name].relation`` hook)."""
+        if self._relation is None:
+            self._relation = decode_relation(self._segment.buf[: self._nbytes])
+        return self._relation
+
+    @property
+    def is_materialized(self) -> bool:
+        return True
+
+
+class AttachedExtents:
+    """A worker-side view store over a manifest's shared-memory segments.
+
+    Mapping-like in exactly the way
+    :class:`~repro.algebra.execution.PlanExecutor` needs (``store[name]``
+    exposes ``relation``); attach is eager per segment (so staleness
+    surfaces immediately and deterministically) while decoding is lazy per
+    view (a worker whose shard never scans a view never pays its decode).
+    """
+
+    def __init__(self, manifest: ExtentManifest, views: dict[str, _AttachedView]):
+        self.manifest = manifest
+        self._views = views
+
+    @classmethod
+    def attach(cls, manifest: ExtentManifest) -> "AttachedExtents":
+        """Map every segment named by ``manifest`` (no decoding yet).
+
+        Raises :class:`StaleExtentError` when any segment no longer exists —
+        the publishing store has moved to a newer view-set version (or was
+        released); everything mapped so far is closed again before raising.
+        """
+        views: dict[str, _AttachedView] = {}
+        try:
+            for name, segment_name, nbytes in manifest.segments:
+                segment = shared_memory.SharedMemory(name=segment_name)
+                _untrack(segment)
+                views[name] = _AttachedView(name, segment, nbytes)
+        except FileNotFoundError as exc:
+            for attached in views.values():
+                attached._segment.close()
+            raise StaleExtentError(
+                f"extent manifest for views.version={manifest.version} is "
+                f"stale: segment {exc.filename or ''!r} was unpublished "
+                f"(view DDL bumped the version, or the store was released)"
+            ) from exc
+        return cls(manifest, views)
+
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, name: str) -> _AttachedView:
+        try:
+            return self._views[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"view {name!r} has no published extent (unmaterialised views "
+                f"are not shared)"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._views)
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def close(self) -> None:
+        """Unmap every segment (decoded relations are dropped too)."""
+        for attached in self._views.values():
+            attached._relation = None
+            try:
+                attached._segment.close()
+            except Exception:  # pragma: no cover - double-close safety
+                pass
+        self._views = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"<AttachedExtents views={len(self._views)} "
+            f"version={self.manifest.version}>"
+        )

@@ -44,6 +44,7 @@ EXPECTED_DOCS = [
     "cost-model.md",
     "containment.md",
     "benchmarks.md",
+    "execution.md",
 ]
 
 
@@ -80,5 +81,6 @@ def test_architecture_doc_covers_every_diagram_module():
 def test_readme_links_into_the_docs_tree():
     readme = (ROOT / "README.md").read_text(encoding="utf-8")
     for target in ["docs/api.md", "docs/architecture.md", "docs/cost-model.md",
-                   "docs/containment.md", "docs/benchmarks.md"]:
+                   "docs/containment.md", "docs/benchmarks.md",
+                   "docs/execution.md"]:
         assert target in readme, f"README does not link {target}"

@@ -21,6 +21,7 @@ import repro.rewriting.batch
 import repro.rewriting.rewriter
 import repro.session.database
 import repro.views.catalog
+import repro.views.extent_store
 
 DOCTEST_MODULES = [
     repro.algebra.execution,
@@ -29,6 +30,7 @@ DOCTEST_MODULES = [
     repro.rewriting.rewriter,
     repro.session.database,
     repro.views.catalog,
+    repro.views.extent_store,
 ]
 """The curated doctest list — mirrored by the CI docs job; keep in sync."""
 

@@ -1,0 +1,106 @@
+"""The fingerprint-keyed plan cache behind ``Database.query``.
+
+Contract under test: repeated unprepared queries skip the rewriting search
+(observable through the hit counter and through the rewriter), results are
+identical to the uncached path, and any view DDL invalidates the whole
+cache before a stale plan can run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, parse_parenthesized, parse_pattern
+from repro.errors import RewritingError
+
+
+@pytest.fixture()
+def database():
+    document = parse_parenthesized(
+        'site(item(name="pen") item(name="ink") item(name="pad"))'
+    )
+    db = Database(document)
+    db.create_view("site(//item[ID,V])", name="items")
+    db.create_view("site(//name[ID,V])", name="names")
+    return db
+
+
+def test_repeated_queries_hit_the_cache(database):
+    first = database.query("site(//item[ID,V])")
+    assert database.plan_cache.info()["misses"] == 1
+    second = database.query("site(//item[ID,V])")
+    info = database.plan_cache.info()
+    assert info["hits"] == 1 and info["size"] == 1
+    assert first.same_contents(second)
+    assert first.rows == second.rows, "cached plan must be the same plan"
+
+
+def test_cache_key_is_canonical_not_textual(database):
+    database.query("site(//item[ID,V])", name="first-name")
+    # different pattern *name*, same canonical structure: must hit
+    database.query("site(//item[ID,V])", name="second-name")
+    assert database.plan_cache.hits == 1
+    # structurally different query: must miss
+    database.query("site(//name[ID,V])")
+    assert database.plan_cache.misses == 2
+
+
+def test_cached_query_skips_the_rewriting_search(database, monkeypatch):
+    database.query("site(//item[ID,V])")
+    def exploding_rewrite(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("a cache hit must not re-run the rewriting search")
+    monkeypatch.setattr(database.rewriter, "rewrite", exploding_rewrite)
+    result = database.query("site(//item[ID,V])")
+    assert len(result) == 3
+
+
+def test_view_ddl_invalidates_the_cache(database):
+    baseline = database.query("site(//item[ID,V])")
+    database.create_view("site(//price[ID,V])", name="prices")
+    result = database.query("site(//item[ID,V])")
+    info = database.plan_cache.info()
+    assert info["invalidations"] == 1
+    assert info["hits"] == 0 and info["misses"] == 2
+    assert result.same_contents(baseline)
+
+
+def test_dropping_a_view_never_serves_its_plan(database):
+    database.query("site(//item[ID,V])")  # cached plan scans 'items'
+    database.drop_view("items")
+    with pytest.raises(RewritingError, match="no equivalent rewriting"):
+        database.query("site(//item[ID,V])")
+
+
+def test_failed_queries_are_not_cached():
+    document = parse_parenthesized('site(item(price=3) item(price=5))')
+    db = Database(document)
+    db.create_view("site(//item[ID])", name="items")
+    with pytest.raises(RewritingError):
+        db.query("site(//price[ID,V])")
+    assert len(db.plan_cache) == 0
+    # a not-found result must not stick: later DDL makes the query answerable
+    db.create_view("site(//price[ID,V])", name="prices")
+    assert len(db.query("site(//price[ID,V])")) == 2
+
+
+def test_lru_bound_evicts_oldest(database):
+    database.plan_cache.maxsize = 1
+    database.query("site(//item[ID,V])")
+    database.query("site(//name[ID,V])")  # evicts the item plan
+    assert len(database.plan_cache) == 1
+    database.query("site(//item[ID,V])")
+    assert database.plan_cache.hits == 0 and database.plan_cache.misses == 3
+
+
+def test_prepared_queries_remain_independent(database):
+    prepared = database.prepare("site(//item[ID,V])")
+    assert len(database.plan_cache) == 0, "prepare() pins per call site"
+    assert prepared.run().same_contents(database.query("site(//item[ID,V])"))
+
+
+def test_query_matches_query_pattern_object(database):
+    pattern = parse_pattern("site(//item[ID,V])", name="obj")
+    assert database.query(pattern).same_contents(
+        database.query("site(//item[ID,V])")
+    )
+    assert database.plan_cache.hits == 1
