@@ -28,7 +28,6 @@ catalog load per batch) dominates the measured loops by construction.
 from __future__ import annotations
 
 import json
-import pathlib
 import time
 
 import pytest
@@ -71,7 +70,7 @@ def _session(document, named_view_patterns):
 
 
 @pytest.mark.benchmark(group="session")
-def test_prepared_vs_unprepared_and_pool_reuse():
+def test_prepared_vs_unprepared_and_pool_reuse(bench_writer):
     document = generate_xmark_document(scale=0.4, seed=548, name="xmark-session")
     database = Database(document, config=CONFIG)
     for index, pattern in enumerate(seed_tag_views(database.summary)):
@@ -177,6 +176,4 @@ def test_prepared_vs_unprepared_and_pool_reuse():
         "pool_speedup": round(pool_speedup, 2),
     }
     print(f"\nBENCH_JSON: {json.dumps(point)}")
-    results_dir = pathlib.Path(__file__).resolve().parent.parent / "bench-results"
-    results_dir.mkdir(exist_ok=True)
-    (results_dir / "session_scaling.json").write_text(json.dumps(point, indent=2))
+    bench_writer("session_scaling.json", point)

@@ -18,11 +18,12 @@ counters).  That assertion is unconditional: the per-search wall-clock
 budget (30 s) exceeds the observed per-query search time by more than two
 orders of magnitude, so budget-truncation divergence between the modes
 (the one documented caveat of the parallel path) cannot realistically
-trigger here.  The wall-clock assertion — ≥ 4 workers must beat one
-worker by at least 2x — only runs where it is physically possible, i.e. on
-hosts with at least 4 CPU cores; single- and dual-core hosts still execute
-the full benchmark and emit the JSON point (with the core count recorded)
-so CI trend lines stay comparable across runner shapes.
+trigger here.  The wall-clock assertion is two-tier: hosts with clear
+physical headroom (≥ 2x WORKERS logical CPUs) must show ≥ 2x, hosts with
+at least WORKERS logical CPUs — where SMT can halve the effective core
+count — must still show a ≥ 1.3x floor, and smaller hosts only record the
+measured speedup.  Every run emits the JSON point (with the core count
+recorded) so CI trend lines stay comparable across runner shapes.
 
 One BENCH JSON point is printed (``BENCH_JSON:`` prefix) and written to
 ``bench-results/rewrite_parallel.json`` for the CI artifact upload.
@@ -32,7 +33,6 @@ from __future__ import annotations
 
 import json
 import os
-import pathlib
 import re
 import time
 
@@ -51,6 +51,9 @@ _ALIAS = re.compile(r"[@#]\d+")
 
 WORKERS = 4
 MIN_SPEEDUP = 2.0
+SMT_MIN_SPEEDUP = 1.3
+"""The floor on hosts with WORKERS..2x WORKERS logical CPUs, where SMT may
+leave only WORKERS/2 physical cores under the pool."""
 
 
 def _fingerprint(outcome) -> list[tuple]:
@@ -62,7 +65,7 @@ def _fingerprint(outcome) -> list[tuple]:
 
 
 @pytest.mark.benchmark(group="rewrite-parallel")
-def test_rewrite_parallel_vs_single_worker():
+def test_rewrite_parallel_vs_single_worker(bench_writer):
     summary = build_summary(
         generate_xmark_document(scale=1.0, seed=548, name="xmark-parallel")
     )
@@ -115,26 +118,33 @@ def test_rewrite_parallel_vs_single_worker():
         "merged_containment_entries": merged_cache["size"],
     }
     print(f"\nBENCH_JSON: {json.dumps(point)}")
-    results_dir = pathlib.Path(__file__).resolve().parent.parent / "bench-results"
-    results_dir.mkdir(exist_ok=True)
-    (results_dir / "rewrite_parallel.json").write_text(json.dumps(point, indent=2))
+    bench_writer("rewrite_parallel.json", point)
 
     # os.cpu_count() reports *logical* CPUs: a 4-vCPU runner may be 2
     # physical cores with SMT, where 4 CPU-bound workers top out well below
     # 2x — and contended shared runners make even softer floors flaky.  The
-    # wall-clock assertion therefore only arms with clear physical headroom
-    # (>= 2x WORKERS logical CPUs); every run still records the measured
-    # speedup in the JSON point for trend monitoring, and the plan-identity
-    # assertion above is unconditional.
+    # full 2x floor therefore only arms with clear physical headroom
+    # (>= 2x WORKERS logical CPUs); hosts with at least WORKERS logical
+    # CPUs — the standard 4-vCPU CI runner — still assert an SMT-safe 1.3x
+    # floor, so a parallel-path regression cannot hide behind runner shape.
+    # Every run records the measured speedup in the JSON point for trend
+    # monitoring, and the plan-identity assertion above is unconditional.
     if cores >= 2 * WORKERS:
         assert speedup >= MIN_SPEEDUP, (
             f"{WORKERS}-worker rewrite_many only {speedup:.2f}x faster than one "
             f"worker on a {cores}-logical-CPU host "
             f"({serial_seconds:.2f}s vs {parallel_seconds:.2f}s)"
         )
+    elif cores >= WORKERS:
+        assert speedup >= SMT_MIN_SPEEDUP, (
+            f"{WORKERS}-worker rewrite_many only {speedup:.2f}x faster than one "
+            f"worker on a {cores}-logical-CPU host (SMT-safe floor "
+            f"{SMT_MIN_SPEEDUP}x; {serial_seconds:.2f}s vs {parallel_seconds:.2f}s)"
+        )
     else:
         print(
-            f"NOTE: host has {cores} logical CPU(s); the >= {MIN_SPEEDUP}x "
-            f"wall-clock assertion arms at >= {2 * WORKERS} and was skipped "
+            f"NOTE: host has {cores} logical CPU(s); the wall-clock floors "
+            f"arm at >= {WORKERS} ({SMT_MIN_SPEEDUP}x) and >= {2 * WORKERS} "
+            f"({MIN_SPEEDUP}x) and were skipped "
             f"(identity was asserted; speedup recorded: {speedup:.2f}x)"
         )

@@ -19,7 +19,6 @@ can upload it as an artifact.
 from __future__ import annotations
 
 import json
-import pathlib
 import re
 import time
 
@@ -51,7 +50,7 @@ def _fingerprint(outcome) -> list[tuple]:
 
 
 @pytest.mark.benchmark(group="rewrite-scaling")
-def test_rewrite_scaling_catalog_vs_naive():
+def test_rewrite_scaling_catalog_vs_naive(bench_writer):
     summary = build_summary(
         generate_xmark_document(scale=1.0, seed=548, name="xmark-scaling")
     )
@@ -102,9 +101,7 @@ def test_rewrite_scaling_catalog_vs_naive():
         "containment_cache": cache_info,
     }
     print(f"\nBENCH_JSON: {json.dumps(point)}")
-    results_dir = pathlib.Path(__file__).resolve().parent.parent / "bench-results"
-    results_dir.mkdir(exist_ok=True)
-    (results_dir / "rewrite_scaling.json").write_text(json.dumps(point, indent=2))
+    bench_writer("rewrite_scaling.json", point)
 
     assert speedup >= 3.0, (
         f"catalog + memo path only {speedup:.2f}x faster than the naive loop "

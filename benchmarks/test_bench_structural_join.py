@@ -19,7 +19,6 @@ job).
 from __future__ import annotations
 
 import json
-import pathlib
 import time
 
 import pytest
@@ -73,7 +72,7 @@ def _timed(views, strategy: str) -> tuple[float, Relation]:
 
 
 @pytest.mark.benchmark(group="structural-join")
-def test_staircase_join_scaling():
+def test_staircase_join_scaling(bench_writer):
     points = []
     for size in SIZES:
         views = _extents(size)
@@ -115,9 +114,7 @@ def test_staircase_join_scaling():
 
     payload = {"bench": "join_scaling", "points": points}
     print(f"\nBENCH_JSON: {json.dumps(payload)}")
-    results_dir = pathlib.Path(__file__).resolve().parent.parent / "bench-results"
-    results_dir.mkdir(exist_ok=True)
-    (results_dir / "join_scaling.json").write_text(json.dumps(payload, indent=2))
+    bench_writer("join_scaling.json", payload)
 
     largest = next(p for p in points if p["left_rows"] == ASSERT_AT)
     assert largest["speedup"] >= MIN_SPEEDUP, (

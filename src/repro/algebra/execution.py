@@ -20,15 +20,28 @@ plus whatever sorts are actually needed, which is what
 ``O(l × r)`` nested loop survives behind
 ``PlanExecutor(views, structural_join_strategy="nested-loop")`` as the
 debugging oracle the A/B tests compare against.
+
+Since PR 6 the default execution mode is *vectorized*: plans evaluate as
+:class:`~repro.algebra.columnar.ColumnBatch` pipelines, with the hot
+operators (scan, ``σ``, ``π``, ``⋈=``, the staircase ``⋈≺``/``⋈≺≺`` and
+the ordered ``∪``-merge) running as batch kernels from
+:mod:`repro.algebra.kernels` over cached column vectors and Dewey keys.
+Operators without a kernel (nested projections, group-by, unnest, content
+navigation...) transparently fall back to the tuple interpreter on
+materialised children.  The complete tuple-at-a-time interpreter survives
+behind ``PlanExecutor(views, executor="tuple")`` as the oracle the
+vectorized A/B suites assert row-identity against — the same pattern as
+the nested-loop join oracle.
 """
 
 from __future__ import annotations
 
-import heapq
 import time
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from repro.algebra import kernels
+from repro.algebra.columnar import ColumnBatch, joined_batch, projected_batch
 from repro.algebra.operators import (
     ContentNavigation,
     GroupBy,
@@ -45,7 +58,6 @@ from repro.algebra.operators import (
     ViewScan,
 )
 from repro.algebra.tuples import Column, Relation, as_dewey
-from repro.algebra.tuples import _hashable as _row_key
 from repro.errors import AlgebraError, PlanExecutionError, ReproError
 from repro.patterns.pattern import Axis
 from repro.xmltree.ids import DeweyID
@@ -54,9 +66,19 @@ from repro.xmltree.node import XMLNode
 __all__ = [
     "OperatorRunStats",
     "PlanExecutor",
+    "EXECUTOR_STRATEGIES",
     "ID_JOIN_STRATEGIES",
     "STRUCTURAL_JOIN_STRATEGIES",
 ]
+
+EXECUTOR_STRATEGIES = ("vectorized", "tuple")
+"""Accepted values for ``PlanExecutor(..., executor=...)``.
+
+``"vectorized"`` (the default) evaluates plans as columnar batch pipelines
+with the kernels of :mod:`repro.algebra.kernels`; ``"tuple"`` keeps the
+complete tuple-at-a-time interpreter — the oracle path.  Results are
+identical, row order included.
+"""
 
 STRUCTURAL_JOIN_STRATEGIES = ("merge", "nested-loop")
 """Accepted values for ``PlanExecutor(..., structural_join_strategy=...)``."""
@@ -120,11 +142,20 @@ class PlanExecutor:
         are annotated sorted on their join columns (hash otherwise);
         ``"hash"`` forces the hash join — the oracle path.  Results are
         identical, row order included.
+    executor:
+        ``"vectorized"`` (default) evaluates plans as columnar
+        :class:`~repro.algebra.columnar.ColumnBatch` pipelines — kernels
+        produce index vectors, columns materialise lazily, and extent
+        scans reuse cached column vectors and Dewey keys across queries;
+        ``"tuple"`` runs the row-at-a-time interpreter — the oracle path.
+        Results are identical, row order included.
     profile:
         When True, the executor records an :class:`OperatorRunStats` per
         distinct operator (rows produced, own and inclusive wall time),
         retrievable via :meth:`run_stats` — the measurement side of
-        ``EXPLAIN ANALYZE``.
+        ``EXPLAIN ANALYZE``.  Under the vectorized executor, lazy column
+        decode is charged to the operator that first touches the column
+        (usually a join or selection), not to the scan that deferred it.
 
     Example
     -------
@@ -147,6 +178,7 @@ class PlanExecutor:
         views: Mapping[str, object],
         structural_join_strategy: str = "merge",
         id_join_strategy: str = "merge",
+        executor: str = "vectorized",
         profile: bool = False,
     ):
         if structural_join_strategy not in STRUCTURAL_JOIN_STRATEGIES:
@@ -159,18 +191,28 @@ class PlanExecutor:
                 f"unknown id join strategy {id_join_strategy!r}; "
                 f"expected one of {ID_JOIN_STRATEGIES}"
             )
+        if executor not in EXECUTOR_STRATEGIES:
+            raise PlanExecutionError(
+                f"unknown executor strategy {executor!r}; "
+                f"expected one of {EXECUTOR_STRATEGIES}"
+            )
         self._views = views
         self._merge_joins = structural_join_strategy == "merge"
         self._merge_id_joins = id_join_strategy == "merge"
+        self.executor = executor
+        self._vectorized = executor == "vectorized"
         self.profile = profile
         # id() -> (operator, result); the operator reference keeps the id alive
         self._memo: dict[int, tuple[PlanOperator, Relation]] = {}
+        self._batch_memo: dict[int, tuple[PlanOperator, ColumnBatch]] = {}
         self._run_stats: dict[int, OperatorRunStats] = {}
         self._child_seconds: list[float] = []
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanOperator) -> Relation:
         """Evaluate ``plan`` and return its result relation."""
+        if self._vectorized:
+            return self.execute_batch(plan).to_relation()
         cached = self._memo.get(id(plan))
         if cached is not None:
             return cached[1]
@@ -191,6 +233,39 @@ class PlanExecutor:
                 inclusive_seconds=elapsed,
             )
         self._memo[id(plan)] = (plan, result)
+        return result
+
+    def execute_batch(self, plan: PlanOperator) -> ColumnBatch:
+        """Evaluate ``plan`` as a columnar batch — the vectorized spine.
+
+        Memoised per operator object like :meth:`execute` (plans are DAGs);
+        profiling uses the same own/inclusive wall-time bookkeeping.  Under
+        ``executor="tuple"`` the tuple interpreter runs and its relation is
+        wrapped (one transpose), so streaming callers work under either
+        strategy.
+        """
+        if not self._vectorized:
+            return ColumnBatch.from_relation(self.execute(plan))
+        cached = self._batch_memo.get(id(plan))
+        if cached is not None:
+            return cached[1]
+        if not self.profile:
+            result = self._execute_batch(plan)
+        else:
+            start = time.perf_counter()
+            self._child_seconds.append(0.0)
+            result = self._execute_batch(plan)
+            children = self._child_seconds.pop()
+            elapsed = time.perf_counter() - start
+            if self._child_seconds:
+                self._child_seconds[-1] += elapsed
+            self._run_stats[id(plan)] = OperatorRunStats(
+                operator=plan,
+                rows=result.row_count,
+                seconds=max(elapsed - children, 0.0),
+                inclusive_seconds=elapsed,
+            )
+        self._batch_memo[id(plan)] = (plan, result)
         return result
 
     def run_stats(self, plan: PlanOperator) -> Optional[OperatorRunStats]:
@@ -229,6 +304,173 @@ class PlanExecutor:
         if isinstance(plan, UnionPlan):
             return self._execute_union(plan)
         raise PlanExecutionError(f"unknown plan operator {type(plan).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # vectorized operators
+    # ------------------------------------------------------------------ #
+    def _execute_batch(self, plan: PlanOperator) -> ColumnBatch:
+        if isinstance(plan, ViewScan):
+            return self._scan_batch(plan)
+        if isinstance(plan, Selection):
+            return self._selection_batch(plan)
+        if isinstance(plan, Projection):
+            return self._projection_batch(plan)
+        if isinstance(plan, IdEqualityJoin):
+            return self._id_join_batch(plan)
+        if isinstance(plan, StructuralJoin) and self._merge_joins:
+            return self._structural_join_batch(plan)
+        if isinstance(plan, UnionPlan):
+            return self._union_batch(plan)
+        # operators without a kernel (and the nested-loop oracle) run the
+        # tuple interpreter over materialised children — children still
+        # route through execute() and thus the batch memo
+        return ColumnBatch.from_relation(self._execute(plan))
+
+    def _scan_batch(self, plan: ViewScan) -> ColumnBatch:
+        try:
+            view = self._views[plan.view_name]
+        except KeyError as exc:
+            raise PlanExecutionError(f"unknown view {plan.view_name!r}") from exc
+        # attached shared extents expose a lazily-decoding column batch; any
+        # other view store goes through .relation (one cached transpose)
+        base = getattr(view, "column_batch", None)
+        if base is None:
+            base = ColumnBatch.from_relation(view.relation)
+        alias = plan.effective_alias
+        columns = [column.renamed(f"{alias}.{column.name}") for column in base.columns]
+        sorted_by = None
+        if base.sorted_by is not None:
+            sorted_by = f"{alias}.{base.sorted_by}"
+        return base.with_schema(columns, sorted_by)
+
+    def _batch_keys(self, batch: ColumnBatch, index: int) -> list:
+        """Cached Dewey component keys, error-wrapped like :meth:`_as_dewey`."""
+        try:
+            return batch.dewey_keys(index)
+        except AlgebraError as exc:
+            raise PlanExecutionError(str(exc)) from exc
+
+    @staticmethod
+    def _concat_schema(left: ColumnBatch, right: ColumnBatch) -> list[Column]:
+        overlap = {column.name for column in left.columns} & {
+            column.name for column in right.columns
+        }
+        if overlap:
+            raise AlgebraError(f"overlapping columns in concatenation: {overlap}")
+        return list(left.columns) + list(right.columns)
+
+    def _selection_batch(self, plan: Selection) -> ColumnBatch:
+        child = self.execute_batch(plan.child)
+        values = child.values(child.column_index(plan.column))
+        keep = kernels.selection_indices(values, plan.formula)
+        # a subset in order stays in order
+        return child.gather(keep, sorted_by=child.sorted_by)
+
+    def _projection_batch(self, plan: Projection) -> ColumnBatch:
+        child = self.execute_batch(plan.child)
+        names = list(plan.columns)
+        indexes = [child.column_index(name) for name in names]
+        keep = kernels.distinct_indices(
+            [child.values(index) for index in indexes], child.row_count
+        )
+        columns = [child.columns[index] for index in indexes]
+        sorted_by = child.sorted_by if child.sorted_by in names else None
+        if plan.renames:
+            mapping = dict(plan.renames)
+            columns = [
+                column.renamed(mapping.get(column.name, column.name))
+                for column in columns
+            ]
+            if sorted_by is not None:
+                sorted_by = mapping.get(sorted_by, sorted_by)
+        return projected_batch(child, indexes, columns, keep, sorted_by)
+
+    def _id_join_batch(self, plan: IdEqualityJoin) -> ColumnBatch:
+        left = self.execute_batch(plan.left)
+        right = self.execute_batch(plan.right)
+        columns = self._concat_schema(left, right)
+        left_keys = self._batch_keys(left, left.column_index(plan.left_column))
+        right_keys = self._batch_keys(right, right.column_index(plan.right_column))
+        if (
+            self._merge_id_joins
+            and left.sorted_by == plan.left_column
+            and right.sorted_by == plan.right_column
+        ):
+            pairs = kernels.merge_id_join_pairs(left_keys, right_keys)
+        else:
+            pairs = kernels.hash_id_join_pairs(left_keys, right_keys)
+        # probe order is left order
+        return joined_batch(left, right, columns, pairs[0], pairs[1], left.sorted_by)
+
+    def _structural_join_batch(self, plan: StructuralJoin) -> ColumnBatch:
+        left = self.execute_batch(plan.left)
+        right = self.execute_batch(plan.right)
+        columns = self._concat_schema(left, right)
+        left_keys = self._batch_keys(left, left.column_index(plan.left_column))
+        right_keys = self._batch_keys(right, right.column_index(plan.right_column))
+        ancestors = kernels.group_runs(
+            kernels.dewey_ordered(left_keys, left.sorted_by == plan.left_column)
+        )
+        descendants = kernels.dewey_ordered(
+            right_keys, right.sorted_by == plan.right_column
+        )
+        left_out, right_out = kernels.staircase_pairs(ancestors, descendants, plan.axis)
+        # output is produced in descendant document order
+        return joined_batch(left, right, columns, left_out, right_out, plan.right_column)
+
+    def _union_batch(self, plan: UnionPlan) -> ColumnBatch:
+        if not plan.plans:
+            raise PlanExecutionError("a union plan needs at least one branch")
+        branches = [self.execute_batch(branch) for branch in plan.plans]
+        merged = self._merge_union_batches(branches)
+        if merged is not None:
+            return merged
+        relations = [branch.to_relation() for branch in branches]
+        result = relations[0]
+        for relation in relations[1:]:
+            result = result.union(relation)
+        return ColumnBatch.from_relation(result.distinct())
+
+    def _merge_union_batches(
+        self, branches: list[ColumnBatch]
+    ) -> Optional[ColumnBatch]:
+        """Batch counterpart of :meth:`_merge_union`, same fallback contract.
+
+        Sort keys come from the branches' cached Dewey key vectors, so a
+        union over extent scans re-uses the keys the staircase machinery
+        already computed.
+        """
+        first = branches[0]
+        if first.sorted_by is None:
+            return None
+        sort_index = first.column_index(first.sorted_by)
+        arity = len(first.columns)
+        for branch in branches:
+            if (
+                len(branch.columns) != arity
+                or branch.sorted_by is None
+                or branch.column_index(branch.sorted_by) != sort_index
+            ):
+                return None
+        null_rows: list[tuple] = []
+        keyed_streams: list[list[tuple[tuple, tuple]]] = []
+        try:
+            for branch in branches:
+                keys = branch.dewey_keys(sort_index)
+                keyed = []
+                for key, row in zip(keys, branch.to_relation().rows):
+                    if key is None:
+                        null_rows.append(row)
+                    else:
+                        keyed.append((key, row))
+                keyed_streams.append(keyed)
+        except ReproError:
+            # a mis-annotated branch: fall back, order-blind
+            return None
+        result = Relation(first.columns)
+        result.sorted_by = first.sorted_by
+        result.rows = kernels.ordered_union_rows(null_rows, keyed_streams)
+        return ColumnBatch.from_relation(result)
 
     # ------------------------------------------------------------------ #
     # leaves
@@ -705,24 +947,7 @@ class PlanExecutor:
             return None
         result = Relation(first.columns)
         result.sorted_by = first.sorted_by
-        seen: set = set()
-        for row in null_rows:
-            key = _row_key(row)
-            if key not in seen:
-                seen.add(key)
-                result.rows.append(row)
-        current_components: Optional[tuple] = None
-        run_seen: set = set()
-        for components, row in heapq.merge(
-            *keyed_streams, key=lambda item: item[0]
-        ):
-            if components != current_components:
-                current_components = components
-                run_seen = set()
-            key = _row_key(row)
-            if key not in run_seen:
-                run_seen.add(key)
-                result.rows.append(row)
+        result.rows = kernels.ordered_union_rows(null_rows, keyed_streams)
         return result
 
 

@@ -14,7 +14,11 @@ interpreter in :mod:`repro.algebra.execution` actually does:
   their join columns; an explicit ``n·log₂ n`` sort term is charged per
   unsorted input — :func:`plan_sorted_on` mirrors the executor's
   order-propagation rules to decide which inputs those are),
-* unary operators stream their input once.
+* unary operators stream their input once,
+* under the default vectorized executor, kernel-backed operators are
+  discounted by :data:`CostModel.vectorized_batch_factor` — the model is
+  keyed per executor strategy, so switching ``Database.executor`` re-plans
+  with matching prices.
 
 Costs are cumulative over the plan *DAG*: a sub-plan shared by two parents
 is charged once, matching the executor's per-object result memo.  Every
@@ -192,6 +196,14 @@ class CostModel:
         The cardinality statistics to read.  ``None`` falls back to a
         statistics-free model (every view extent counts 1 row), which still
         ranks plans by shape — more joins cost more.
+    executor:
+        The execution strategy being priced (one of
+        :data:`~repro.algebra.execution.EXECUTOR_STRATEGIES`).  Under
+        ``"vectorized"`` (the default) the operators that run as batch
+        kernels are discounted by :data:`vectorized_batch_factor`; the
+        relative ranking of kernel-only plans is unchanged, but plans
+        mixing kernel and fallback operators tilt toward the kernels —
+        matching what the interpreter actually pays per row.
     """
 
     minimum_operator_cost = 1.0
@@ -210,8 +222,28 @@ class CostModel:
     """Per-comparison weight of the ``n·log₂(n)`` sort charged on each
     structural-join input that does not arrive Dewey-sorted."""
 
-    def __init__(self, statistics: Optional[Statistics] = None):
+    vectorized_batch_factor = 0.5
+    """Per-row work discount of the batch kernels relative to the tuple
+    interpreter.  Applies exactly to the kernel-backed operators — scans,
+    ``σ``, ``π``, ``⋈=``, the staircase ``⋈≺``/``⋈≺≺`` and the ``∪``-merge
+    — everything else falls back to tuple execution and keeps full price.
+    ``NestedStructuralJoin`` has no kernel, so it is deliberately absent
+    from :data:`_KERNEL_OPERATORS`."""
+
+    _KERNEL_OPERATORS = (
+        ViewScan,
+        Selection,
+        Projection,
+        IdEqualityJoin,
+        StructuralJoin,
+        UnionPlan,
+    )
+
+    def __init__(
+        self, statistics: Optional[Statistics] = None, executor: str = "vectorized"
+    ):
         self.statistics = statistics
+        self.executor = executor
 
     # ------------------------------------------------------------------ #
     # cardinality-context protocol (called from operator estimate_rows hooks)
@@ -292,7 +324,9 @@ class CostModel:
             # scans and streaming unary operators: one pass over the output
             # (or the input, whichever is larger)
             work = max([output_rows, *child_rows]) if child_rows else output_rows
+        if self.executor == "vectorized" and isinstance(operator, self._KERNEL_OPERATORS):
+            work *= self.vectorized_batch_factor
         return max(work, self.minimum_operator_cost)
 
     def __repr__(self) -> str:
-        return f"<CostModel statistics={self.statistics!r}>"
+        return f"<CostModel statistics={self.statistics!r} executor={self.executor!r}>"

@@ -163,7 +163,8 @@ class Planner:
         if self._cost_model is not None:
             return self._cost_model
         catalog = self.rewriter.catalog
-        key = (id(catalog), self.rewriter.views.version)
+        executor = getattr(self.rewriter, "executor_strategy", "vectorized")
+        key = (id(catalog), self.rewriter.views.version, executor)
         if (
             self._derived_model is not None
             and self._derived_key == key
@@ -171,12 +172,15 @@ class Planner:
         ):
             return self._derived_model
         if catalog is not None:
-            model = CostModel(catalog.statistics())
+            model = CostModel(catalog.statistics(), executor=executor)
         else:
             # catalog-less fallback: the Statistics constructor observes
             # every view itself (annotating throwaway pattern copies for
             # unmaterialised ones), so pricing matches the catalog path
-            model = CostModel(Statistics(self.rewriter.summary, self.rewriter.views))
+            model = CostModel(
+                Statistics(self.rewriter.summary, self.rewriter.views),
+                executor=executor,
+            )
         self._derived_model = model
         self._derived_key = key
         self._derived_catalog = catalog

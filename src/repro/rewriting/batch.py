@@ -26,9 +26,14 @@ shared memory once per view-set version
 (:class:`~repro.views.extent_store.ExtentStore`), workers attach the
 segments by manifest — no extent is ever copied per worker or per task —
 and each shard streams its result relations back through the same columnar
-codec.  That turns the rewrite-only parallelism of PR 2 into end-to-end
-parallel query answering; ``Database.query_many(..., execute=True)`` is the
-session-level entry point.
+codec — sliced into :data:`STREAM_BATCH_ROWS`-row windows, so a worker
+never materialises a second full copy of a large result just to ship it.
+That turns the rewrite-only parallelism of PR 2 into end-to-end parallel
+query answering; ``Database.query_many(..., execute=True)`` is the
+session-level entry point.  Workers run plans under the parent rewriter's
+``executor_strategy`` (vectorized by default — the initializer carries the
+strategy over), directly on the lazily-decoded column batches of the
+attached extents.
 
 Rewriting is pure CPU-bound Python, so processes — not threads — are the
 only way to scale it with cores.  Every worker produces the outcomes the
@@ -55,6 +60,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.algebra.columnar import (
+    ColumnBatch,
+    concat_batches,
+    decode_columnar,
+    encode_columnar,
+)
 from repro.algebra.tuples import Relation
 from repro.containment.core import merge_containment_delta
 from repro.errors import ReproError
@@ -64,14 +75,27 @@ from repro.views.extent_store import (
     AttachedExtents,
     ExtentManifest,
     ExtentStore,
-    decode_relation,
-    encode_relation,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rewriting.rewriter import Rewriter, RewriteOutcome
 
-__all__ = ["BatchEngine", "QueryExecution", "resolve_worker_count"]
+__all__ = [
+    "BatchEngine",
+    "QueryExecution",
+    "STREAM_BATCH_ROWS",
+    "resolve_worker_count",
+]
+
+STREAM_BATCH_ROWS = 1024
+"""Rows per encoded result window a worker streams back to the parent.
+
+Each window is one ``encode_columnar`` payload of a contiguous
+:meth:`~repro.algebra.columnar.ColumnBatch.slice`; the parent re-assembles
+them with :func:`~repro.algebra.columnar.concat_batches`.  Windowing bounds
+a worker's encode-side memory to ``O(batch)`` extra instead of a second
+full copy of the result, and empty results still ship one window so the
+schema and the ``sorted_by`` annotation survive the trip."""
 
 
 @dataclass
@@ -142,6 +166,7 @@ def _worker_init(
     decisions_enabled: bool,
     models_enabled: bool,
     manifest: Optional[ExtentManifest] = None,
+    executor: str = "vectorized",
 ) -> None:
     """Process-pool initializer: load the shared catalog snapshot once.
 
@@ -155,7 +180,9 @@ def _worker_init(
     ``manifest`` (present when the pool will also *execute* plans) names the
     shared-memory extent segments; attaching — and above all decoding — is
     deferred to the first execute task, so rewrite-only batches through an
-    execute-capable pool never pay for extents.
+    execute-capable pool never pay for extents.  ``executor`` carries the
+    parent rewriter's execution strategy: the worker planner keys its cost
+    model on it, so parent and workers choose (and price) the same plans.
     """
     global _WORKER_REWRITER, _WORKER_PLANNER, _WORKER_MANIFEST, _WORKER_EXTENTS
     from repro.canonical.model import canonical_model_cache
@@ -167,6 +194,7 @@ def _worker_init(
     canonical_model_cache().enabled = models_enabled
     catalog = ViewCatalog.load(catalog_path)
     _WORKER_REWRITER = Rewriter.from_catalog(catalog, config)
+    _WORKER_REWRITER.executor_strategy = executor
     _WORKER_PLANNER = None
     _WORKER_MANIFEST = manifest
     if _WORKER_EXTENTS is not None:  # pragma: no cover - re-init safety
@@ -188,16 +216,37 @@ def _worker_run(
     return outcomes, delta
 
 
+def _encode_result_stream(batch: ColumnBatch) -> tuple[bytes, ...]:
+    """Slice a result batch into row windows and encode each one.
+
+    Empty results still ship a single window: the payload carries the
+    schema and the ``sorted_by`` annotation even with zero rows.
+    """
+    if batch.row_count == 0:
+        return (encode_columnar(batch),)
+    return tuple(
+        encode_columnar(batch.slice(start, start + STREAM_BATCH_ROWS))
+        for start in range(0, batch.row_count, STREAM_BATCH_ROWS)
+    )
+
+
+def _decode_result_stream(payloads: Sequence[bytes]) -> Relation:
+    """Re-assemble a worker's encoded windows into one relation."""
+    return concat_batches([decode_columnar(payload) for payload in payloads]).to_relation()
+
+
 def _worker_execute(
     indexed_queries: list[tuple[int, TreePattern]],
 ) -> tuple[list[tuple[int, Optional[tuple]]], list]:
     """Rewrite, plan and execute one shard over the attached extents.
 
-    Per query the worker returns ``(index, None)`` when no rewriting exists,
-    or ``(index, (encoded result, plan description, plan cost, views used))``
-    — the result relation travels back through the same pickle-free columnar
-    codec the extents arrived through, so a row holding a content reference
-    never drags the whole document across the pipe.
+    Per query the worker returns ``(index, None)`` when no rewriting
+    exists, or ``(index, (encoded result windows, plan description, plan
+    cost, views used))`` — the result relation travels back through the
+    same pickle-free columnar codec the extents arrived through, in
+    :data:`STREAM_BATCH_ROWS`-row windows, so a row holding a content
+    reference never drags the whole document across the pipe and a large
+    result is never materialised twice on the worker side.
     """
     global _WORKER_PLANNER, _WORKER_EXTENTS
     from repro.containment.core import export_containment_delta
@@ -222,12 +271,15 @@ def _worker_execute(
             results.append((index, None))
             continue
         planned = _WORKER_PLANNER.rank(outcome)[0]
-        relation = PlanExecutor(_WORKER_EXTENTS).execute(planned.rewriting.plan)
+        executor = PlanExecutor(
+            _WORKER_EXTENTS, executor=_WORKER_REWRITER.executor_strategy
+        )
+        batch = executor.execute_batch(planned.rewriting.plan)
         results.append(
             (
                 index,
                 (
-                    encode_relation(relation),
+                    _encode_result_stream(batch),
                     planned.describe(),
                     planned.cost,
                     tuple(planned.rewriting.views_used),
@@ -351,6 +403,7 @@ class BatchEngine:
         from repro.canonical.model import canonical_model_cache
         from repro.containment.core import containment_cache
 
+        strategy = getattr(self.rewriter, "executor_strategy", "vectorized")
         key = (
             workers,
             self._snapshot_version,
@@ -359,6 +412,7 @@ class BatchEngine:
             containment_cache().enabled,
             canonical_model_cache().enabled,
             (manifest.token, manifest.version) if manifest is not None else None,
+            strategy,
         )
         if self._pool is not None and self._pool_key == key:
             return self._pool
@@ -372,6 +426,7 @@ class BatchEngine:
                 containment_cache().enabled,
                 canonical_model_cache().enabled,
                 manifest,
+                strategy,
             ),
         )
         self._pool_key = key
@@ -435,9 +490,10 @@ class BatchEngine:
                 executions.append(QueryExecution(query, False, None, None, None, ()))
                 continue
             planned = planner.rank(outcome)[0]
-            relation = PlanExecutor(self.rewriter.views).execute(
-                planned.rewriting.plan
-            )
+            relation = PlanExecutor(
+                self.rewriter.views,
+                executor=getattr(self.rewriter, "executor_strategy", "vectorized"),
+            ).execute(planned.rewriting.plan)
             executions.append(
                 QueryExecution(
                     query=query,
@@ -520,12 +576,12 @@ class BatchEngine:
                         QueryExecution(query, False, None, None, None, ())
                     )
                     continue
-                encoded, description, cost, views_used = payload
+                encoded_windows, description, cost, views_used = payload
                 executions.append(
                     QueryExecution(
                         query=query,
                         found=True,
-                        result=decode_relation(encoded),
+                        result=_decode_result_stream(encoded_windows),
                         plan_description=description,
                         plan_cost=cost,
                         views_used=views_used,

@@ -142,6 +142,11 @@ class Rewriter:
         self._catalog_version: Optional[int] = None
         self._planner = None  # built lazily by answer(); caches its cost model
         self._batch_engine = None  # built lazily; reuses its catalog snapshot
+        self.executor_strategy = "vectorized"
+        """Which :class:`~repro.algebra.execution.PlanExecutor` strategy
+        :meth:`execute` (and the batch engine's workers) run plans under —
+        ``"vectorized"`` or the ``"tuple"`` oracle.  The planner keys its
+        cost model on this, so changing it re-prices plans to match."""
 
     # ------------------------------------------------------------------ #
     @property
@@ -292,7 +297,7 @@ class Rewriter:
     # ------------------------------------------------------------------ #
     def execute(self, rewriting: Rewriting) -> Relation:
         """Execute a rewriting's plan over the materialised views."""
-        executor = PlanExecutor(self.views)
+        executor = PlanExecutor(self.views, executor=self.executor_strategy)
         return executor.execute(rewriting.plan)
 
     def answer(self, query: TreePattern) -> Relation:

@@ -44,7 +44,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.algebra.execution import PlanExecutor
+from repro.algebra.execution import EXECUTOR_STRATEGIES, PlanExecutor
 from repro.algebra.tuples import Relation
 from repro.canonical.hashing import pattern_key
 from repro.errors import RewritingError, SessionError
@@ -207,7 +207,9 @@ class PreparedQuery:
     def run(self) -> Relation:
         """Execute the prepared plan over the database's views."""
         planned = self.plan
-        executor = PlanExecutor(self._database.views)
+        executor = PlanExecutor(
+            self._database.views, executor=self._database.executor
+        )
         return executor.execute(planned.rewriting.plan)
 
     def explain(self, analyze: bool = False) -> ExplainReport:
@@ -221,7 +223,9 @@ class PreparedQuery:
         model = self._database.planner.cost_model
         if not analyze:
             return build_explain_report(choice, model.statistics)
-        executor = PlanExecutor(self._database.views, profile=True)
+        executor = PlanExecutor(
+            self._database.views, executor=self._database.executor, profile=True
+        )
         start = time.perf_counter()
         executor.execute(choice.best.rewriting.plan)
         elapsed = time.perf_counter() - start
@@ -252,6 +256,11 @@ class Database:
     config:
         Optional :class:`~repro.rewriting.algorithm.RewritingConfig` tuning
         every rewriting search this session runs.
+    executor:
+        Execution strategy for every query this session answers —
+        ``"vectorized"`` (columnar batch kernels, the default) or
+        ``"tuple"`` (the row-at-a-time reference executor).  Switchable
+        later through the :attr:`executor` property.
     use_catalog:
         Disable only for naive-baseline experiments; incremental DDL then
         degrades to the version-counter rebuild.
@@ -280,17 +289,24 @@ class Database:
         config: Optional["RewritingConfig"] = None,
         summary: Optional[Summary] = None,
         use_catalog: bool = True,
+        executor: str = "vectorized",
     ):
         if document is None and summary is None:
             raise SessionError(
                 "a Database needs a document (or at least a summary — "
                 "see Database.from_summary)"
             )
+        if executor not in EXECUTOR_STRATEGIES:
+            raise SessionError(
+                f"unknown executor strategy {executor!r} "
+                f"(expected one of {EXECUTOR_STRATEGIES})"
+            )
         self._document = document
         self._summary = summary if summary is not None else build_summary(document)
         self._rewriter = Rewriter(
             self._summary, views, config, use_catalog=use_catalog
         )
+        self._rewriter.executor_strategy = executor
         self._planner = Planner(self._rewriter)
         self._plan_cache = PlanCache()
         self._view_serial = 0
@@ -430,6 +446,31 @@ class Database:
         return self._plan_cache
 
     @property
+    def executor(self) -> str:
+        """Which executor answers queries: ``"vectorized"`` (columnar batch
+        kernels, the default) or ``"tuple"`` (the row-at-a-time oracle).
+
+        Assigning flips every execution site this session owns — one-shot
+        queries, prepared queries, ``EXPLAIN ANALYZE`` and the batch
+        engine's workers — and flushes the plan cache, because the cost
+        model prices kernel-backed operators differently per strategy.
+        """
+        return getattr(self._rewriter, "executor_strategy", "vectorized")
+
+    @executor.setter
+    def executor(self, strategy: str) -> None:
+        if strategy not in EXECUTOR_STRATEGIES:
+            raise SessionError(
+                f"unknown executor strategy {strategy!r} "
+                f"(expected one of {EXECUTOR_STRATEGIES})"
+            )
+        if strategy == self.executor:
+            return
+        self._rewriter.executor_strategy = strategy
+        # re-price: cached choices were costed under the other strategy
+        self._plan_cache = PlanCache()
+
+    @property
     def extent_store(self) -> Optional["ExtentStore"]:
         """The shared extent store behind ``query_many(execute=True)``.
 
@@ -521,7 +562,7 @@ class Database:
                     f"views {sorted(self.views.names)}"
                 )
             self._plan_cache.store(fingerprint, version, choice)
-        executor = PlanExecutor(self.views)
+        executor = PlanExecutor(self.views, executor=self.executor)
         return executor.execute(choice.best.rewriting.plan)
 
     def explain(
@@ -582,7 +623,7 @@ class Database:
                     f"views {sorted(self.views.names)}"
                 )
             planned = self._planner.rank(outcome)[0]
-            executor = PlanExecutor(self.views)
+            executor = PlanExecutor(self.views, executor=self.executor)
             results.append(executor.execute(planned.rewriting.plan))
         return results
 

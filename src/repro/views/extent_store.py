@@ -30,32 +30,45 @@ Three contracts matter:
   it ``Database.close``) drops the owning reference, and a GC finalizer
   backstops leaked stores so segments never outlive the process quietly.
 
-The codec covers every cell type a :class:`~repro.algebra.tuples.Relation`
-can hold — atoms, ``⊥``, :class:`~repro.xmltree.ids.DeweyID`, nested
-relations and content references.  Content references
-(:class:`~repro.xmltree.node.XMLNode`) are encoded as their subtree (label,
-value, children) plus the root's Dewey ID and rooted path; decoding rebuilds
-an equivalent subtree and re-derives every descendant's identifier and path
-from the root's (children keep their sibling ordinals, so the derived IDs
-equal the originals).  Rebuilt nodes compare equal to the originals under
-the executor's identifier-based semantics; they are *copies*, so mutating
-them never touches the parent process's document.
+The codec lives in :mod:`repro.algebra.columnar` (shared with the
+vectorized executor) and covers every cell type a
+:class:`~repro.algebra.tuples.Relation` can hold — atoms, ``⊥``,
+:class:`~repro.xmltree.ids.DeweyID`, nested relations and content
+references.  Content references (:class:`~repro.xmltree.node.XMLNode`) are
+encoded as their subtree (label, value, children) plus the root's Dewey ID
+and rooted path; decoding rebuilds an equivalent subtree and re-derives
+every descendant's identifier and path from the root's (children keep
+their sibling ordinals, so the derived IDs equal the originals).  Rebuilt
+nodes compare equal to the originals under the executor's identifier-based
+semantics; they are *copies*, so mutating them never touches the parent
+process's document.
+
+Since PR 6 the payload layout is genuinely columnar (magic ``RXC1``: a
+block directory, then one contiguous cell block per column) and attached
+extents expose a :class:`~repro.algebra.columnar.ColumnBatch` that decodes
+column blocks on first touch.  The vectorized executor scans that batch
+directly, so a worker whose plans never read a column never pays its
+decode — :attr:`AttachedExtents.decode_bytes_touched` makes the saving
+observable.
 """
 
 from __future__ import annotations
 
 import secrets
-import struct
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Iterator, Optional
 
-from repro.algebra.tuples import Column, Relation
-from repro.errors import ReproError
+from repro.algebra.columnar import (
+    ColumnarPayload,
+    ColumnBatch,
+    decode_payload,
+    encode_columnar,
+)
+from repro.algebra.tuples import Relation
+from repro.errors import ExtentStoreError
 from repro.views.store import ViewSet
-from repro.xmltree.ids import DeweyID
-from repro.xmltree.node import XMLNode
 
 __all__ = [
     "AttachedExtents",
@@ -68,10 +81,6 @@ __all__ = [
 ]
 
 
-class ExtentStoreError(ReproError):
-    """Raised when a shared extent cannot be published, attached or decoded."""
-
-
 class StaleExtentError(ExtentStoreError):
     """Raised when attaching a manifest whose segments were superseded.
 
@@ -81,264 +90,32 @@ class StaleExtentError(ExtentStoreError):
 
 
 # --------------------------------------------------------------------------- #
-# columnar codec
+# codec facade (implementation in repro.algebra.columnar)
 # --------------------------------------------------------------------------- #
-_MAGIC = b"RXT1"
-
-_T_NONE = 0
-_T_INT = 1
-_T_BIGINT = 2
-_T_FLOAT = 3
-_T_STR = 4
-_T_DEWEY = 5
-_T_NODE = 6
-_T_NESTED = 7
-
-_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
-
-
-class _Writer:
-    """Append-only little-endian byte builder."""
-
-    __slots__ = ("buffer",)
-
-    def __init__(self) -> None:
-        self.buffer = bytearray()
-
-    def u8(self, value: int) -> None:
-        self.buffer.append(value)
-
-    def u32(self, value: int) -> None:
-        self.buffer += struct.pack("<I", value)
-
-    def i64(self, value: int) -> None:
-        self.buffer += struct.pack("<q", value)
-
-    def f64(self, value: float) -> None:
-        self.buffer += struct.pack("<d", value)
-
-    def text(self, value: str) -> None:
-        raw = value.encode("utf-8")
-        self.u32(len(raw))
-        self.buffer += raw
-
-    def optional_text(self, value: Optional[str]) -> None:
-        if value is None:
-            self.u8(0)
-        else:
-            self.u8(1)
-            self.text(value)
-
-
-class _Reader:
-    """Sequential reader over the writer's layout."""
-
-    __slots__ = ("view", "offset")
-
-    def __init__(self, view: memoryview) -> None:
-        self.view = view
-        self.offset = 0
-
-    def u8(self) -> int:
-        value = self.view[self.offset]
-        self.offset += 1
-        return value
-
-    def u32(self) -> int:
-        (value,) = struct.unpack_from("<I", self.view, self.offset)
-        self.offset += 4
-        return value
-
-    def i64(self) -> int:
-        (value,) = struct.unpack_from("<q", self.view, self.offset)
-        self.offset += 8
-        return value
-
-    def f64(self) -> float:
-        (value,) = struct.unpack_from("<d", self.view, self.offset)
-        self.offset += 8
-        return value
-
-    def text(self) -> str:
-        length = self.u32()
-        raw = bytes(self.view[self.offset : self.offset + length])
-        self.offset += length
-        return raw.decode("utf-8")
-
-    def optional_text(self) -> Optional[str]:
-        return self.text() if self.u8() else None
-
-
-def _write_dewey(writer: _Writer, identifier: DeweyID) -> None:
-    components = identifier.components
-    writer.u32(len(components))
-    for component in components:
-        writer.u32(component)
-
-
-def _read_dewey(reader: _Reader) -> DeweyID:
-    depth = reader.u32()
-    return DeweyID(tuple(reader.u32() for _ in range(depth)))
-
-
-def _write_node_tree(writer: _Writer, node: XMLNode) -> None:
-    writer.text(node.label)
-    _write_cell(writer, node.value)
-    writer.u32(len(node.children))
-    for child in node.children:
-        _write_node_tree(writer, child)
-
-
-def _read_node_tree(reader: _Reader) -> XMLNode:
-    label = reader.text()
-    value = _read_cell(reader)
-    node = XMLNode(label, value)
-    for _ in range(reader.u32()):
-        node.append(_read_node_tree(reader))
-    return node
-
-
-def _derive_ids(node: XMLNode, dewey: Optional[DeweyID], path: Optional[str]) -> None:
-    """Re-derive subtree identifiers and paths from the encoded root's.
-
-    A content reference points at a *complete* document node, so its
-    children carry consecutive sibling ordinals starting at 1 — deriving
-    child IDs via :meth:`DeweyID.child` reproduces the original document's
-    identifiers exactly.
-    """
-    node.dewey = dewey
-    node.path = path
-    for ordinal, child in enumerate(node.children, start=1):
-        _derive_ids(
-            child,
-            dewey.child(ordinal) if dewey is not None else None,
-            f"{path}/{child.label}" if path is not None else None,
-        )
-
-
-def _write_cell(writer: _Writer, value) -> None:
-    if value is None:
-        writer.u8(_T_NONE)
-    elif isinstance(value, bool):
-        # bools ride the int lane; True == 1 under relation set semantics
-        writer.u8(_T_INT)
-        writer.i64(int(value))
-    elif isinstance(value, int):
-        if _I64_MIN <= value <= _I64_MAX:
-            writer.u8(_T_INT)
-            writer.i64(value)
-        else:
-            writer.u8(_T_BIGINT)
-            writer.text(str(value))
-    elif isinstance(value, float):
-        writer.u8(_T_FLOAT)
-        writer.f64(value)
-    elif isinstance(value, str):
-        writer.u8(_T_STR)
-        writer.text(value)
-    elif isinstance(value, DeweyID):
-        writer.u8(_T_DEWEY)
-        _write_dewey(writer, value)
-    elif isinstance(value, XMLNode):
-        writer.u8(_T_NODE)
-        if value.dewey is None:
-            writer.u8(0)
-        else:
-            writer.u8(1)
-            _write_dewey(writer, value.dewey)
-        writer.optional_text(value.path)
-        _write_node_tree(writer, value)
-    elif isinstance(value, Relation):
-        writer.u8(_T_NESTED)
-        _write_relation(writer, value)
-    else:
-        raise ExtentStoreError(
-            f"cell value {value!r} of type {type(value).__name__} cannot be "
-            f"encoded into a shared extent"
-        )
-
-
-def _read_cell(reader: _Reader):
-    tag = reader.u8()
-    if tag == _T_NONE:
-        return None
-    if tag == _T_INT:
-        return reader.i64()
-    if tag == _T_BIGINT:
-        return int(reader.text())
-    if tag == _T_FLOAT:
-        return reader.f64()
-    if tag == _T_STR:
-        return reader.text()
-    if tag == _T_DEWEY:
-        return _read_dewey(reader)
-    if tag == _T_NODE:
-        dewey = _read_dewey(reader) if reader.u8() else None
-        path = reader.optional_text()
-        node = _read_node_tree(reader)
-        _derive_ids(node, dewey, path)
-        return node
-    if tag == _T_NESTED:
-        return _read_relation(reader)
-    raise ExtentStoreError(f"corrupt shared extent: unknown cell tag {tag}")
-
-
-def _write_relation(writer: _Writer, relation: Relation) -> None:
-    writer.u32(len(relation.columns))
-    for column in relation.columns:
-        writer.text(column.name)
-        writer.text(column.kind)
-        writer.u32(len(column.paths))
-        for path in column.paths:
-            writer.text(path)
-    writer.optional_text(relation.sorted_by)
-    writer.u32(len(relation.rows))
-    for row in relation.rows:
-        for value in row:
-            _write_cell(writer, value)
-
-
-def _read_relation(reader: _Reader) -> Relation:
-    columns = []
-    for _ in range(reader.u32()):
-        name = reader.text()
-        kind = reader.text()
-        paths = tuple(reader.text() for _ in range(reader.u32()))
-        columns.append(Column(name=name, kind=kind, paths=paths))
-    sorted_by = reader.optional_text()
-    row_count = reader.u32()
-    arity = len(columns)
-    relation = Relation(columns)
-    relation.rows = [
-        tuple(_read_cell(reader) for _ in range(arity)) for _ in range(row_count)
-    ]
-    relation.sorted_by = sorted_by
-    return relation
-
-
 def encode_relation(relation: Relation) -> bytes:
     """Encode a relation into the self-describing columnar byte layout.
 
     The encoding is pickle-free and position-independent: schema (names,
-    kinds, summary paths), the ``sorted_by`` annotation and every row, with
-    nested relations and content references encoded recursively.
+    kinds, summary paths), the ``sorted_by`` annotation, a per-column block
+    directory and one contiguous cell block per column, with nested
+    relations and content references encoded recursively.
     :func:`decode_relation` inverts it exactly (content references come back
-    as equivalent rebuilt subtrees — see the module notes).
+    as equivalent rebuilt subtrees — see the module notes), and
+    :class:`~repro.algebra.columnar.ColumnarPayload` reads single columns
+    out of it without touching the rest.
     """
-    writer = _Writer()
-    writer.buffer += _MAGIC
-    _write_relation(writer, relation)
-    return bytes(writer.buffer)
+    return encode_columnar(relation)
 
 
 def decode_relation(payload) -> Relation:
-    """Decode :func:`encode_relation` output (bytes or a memoryview)."""
-    view = memoryview(payload)
-    if bytes(view[:4]) != _MAGIC:
-        raise ExtentStoreError("not a shared extent payload (bad magic)")
-    reader = _Reader(view)
-    reader.offset = 4
-    return _read_relation(reader)
+    """Decode :func:`encode_relation` output (bytes or a memoryview).
+
+    Accepts both codec generations — the columnar ``RXC1`` layout and the
+    legacy row-major ``RXT1`` one — and materialises the whole relation;
+    use :class:`~repro.algebra.columnar.ColumnarPayload` directly for lazy
+    per-column access.
+    """
+    return decode_payload(payload)
 
 
 # --------------------------------------------------------------------------- #
@@ -524,26 +301,66 @@ class ExtentStore:
 
 
 class _AttachedView:
-    """One attached extent: decoded lazily, at most once per attachment."""
+    """One attached extent: header parsed on demand, columns decoded lazily."""
 
-    __slots__ = ("name", "_segment", "_nbytes", "_relation")
+    __slots__ = ("name", "_segment", "_nbytes", "_payload", "_batch")
 
     def __init__(self, name: str, segment: shared_memory.SharedMemory, nbytes: int):
         self.name = name
         self._segment = segment
         self._nbytes = nbytes
-        self._relation: Optional[Relation] = None
+        self._payload: Optional[ColumnarPayload] = None
+        self._batch: Optional[ColumnBatch] = None
+
+    @property
+    def payload(self) -> ColumnarPayload:
+        """The lazy columnar reader over this view's segment."""
+        if self._payload is None:
+            self._payload = ColumnarPayload(self._segment.buf[: self._nbytes])
+        return self._payload
+
+    @property
+    def column_batch(self) -> ColumnBatch:
+        """The extent as a lazily-decoding batch — the vectorized scan hook.
+
+        Decoded column blocks (and their Dewey key caches) persist on the
+        batch for the attachment's lifetime, so every query a worker runs
+        against this extent shares them.
+        """
+        if self._batch is None:
+            self._batch = self.payload.batch()
+        return self._batch
 
     @property
     def relation(self) -> Relation:
-        """The decoded extent (the executor's ``views[name].relation`` hook)."""
-        if self._relation is None:
-            self._relation = decode_relation(self._segment.buf[: self._nbytes])
-        return self._relation
+        """The fully decoded extent (the tuple executor's ``.relation`` hook)."""
+        return self.column_batch.to_relation()
+
+    @property
+    def bytes_touched(self) -> int:
+        """Payload bytes actually decoded so far (0 before the first scan)."""
+        return self._payload.bytes_touched if self._payload is not None else 0
 
     @property
     def is_materialized(self) -> bool:
         return True
+
+    def _close(self) -> None:
+        """Drop decode state and release the buffer before unmapping.
+
+        The payload's memoryview must be released ahead of
+        ``SharedMemory.close`` — a segment with live buffer exports raises
+        ``BufferError`` on close.  Columns decoded into Python objects stay
+        usable; only undecoded blocks become unreachable.
+        """
+        self._batch = None
+        if self._payload is not None:
+            self._payload.release()
+            self._payload = None
+        try:
+            self._segment.close()
+        except Exception:  # pragma: no cover - double-close safety
+            pass
 
 
 class AttachedExtents:
@@ -603,14 +420,20 @@ class AttachedExtents:
     def __len__(self) -> int:
         return len(self._views)
 
+    @property
+    def decode_bytes_touched(self) -> int:
+        """Payload bytes decoded across every attached view.
+
+        Header plus only the column blocks some plan actually read — the
+        lazy-decode observable the ``query_parallel`` bench records against
+        ``manifest.total_bytes``.
+        """
+        return sum(view.bytes_touched for view in self._views.values())
+
     def close(self) -> None:
-        """Unmap every segment (decoded relations are dropped too)."""
+        """Unmap every segment (decoded batches are dropped too)."""
         for attached in self._views.values():
-            attached._relation = None
-            try:
-                attached._segment.close()
-            except Exception:  # pragma: no cover - double-close safety
-                pass
+            attached._close()
         self._views = {}
 
     def __repr__(self) -> str:

@@ -1,0 +1,140 @@
+"""Results-identity A/B harness: vectorized executor vs. the tuple oracle.
+
+The columnar batch kernels must be *exactly* row-identical — same rows, same
+order, same schema, same ``sorted_by`` annotation — to the row-at-a-time
+interpreter on every plan the rewriting pipeline actually produces, not just
+set-equal: downstream consumers (the stream codec, ordered unions, EXPLAIN
+row counts) all depend on physical order.  Same workloads as the staircase
+A/B harness (``test_staircase_ab.py``), with unions enabled so the k-way
+ordered-union kernel is exercised too.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Database, build_summary
+from repro.algebra.execution import EXECUTOR_STRATEGIES, PlanExecutor
+from repro.algebra.tuples import _hashable
+from repro.errors import SessionError
+from repro.rewriting.algorithm import RewritingConfig
+from repro.rewriting.rewriter import Rewriter
+from repro.workloads.dblp import generate_dblp_document
+from repro.workloads.synthetic import SyntheticPatternConfig, generate_random_pattern
+from repro.workloads.xmark import generate_xmark_document, xmark_query_patterns
+
+from tests.integration.test_staircase_ab import _materialised_views, _query_labels
+
+
+def _assert_vectorized_matches_oracle(rewriter, queries):
+    """Execute every rewriting of every query under both executors."""
+    executed = 0
+    for query in queries:
+        outcome = rewriter.rewrite(query)
+        for rewriting in outcome.rewritings:
+            vectorized = PlanExecutor(
+                rewriter.views, executor="vectorized"
+            ).execute(rewriting.plan)
+            oracle = PlanExecutor(
+                rewriter.views, executor="tuple"
+            ).execute(rewriting.plan)
+            label = f"{query.name!r} via views {rewriting.views_used}"
+            assert vectorized.column_names == oracle.column_names, (
+                f"vectorized schema diverges on {label}"
+            )
+            assert vectorized.sorted_by == oracle.sorted_by, (
+                f"vectorized sort annotation diverges on {label}"
+            )
+            assert [_hashable(row) for row in vectorized.rows] == [
+                _hashable(row) for row in oracle.rows
+            ], f"vectorized rows diverge from the tuple oracle on {label}"
+            executed += 1
+    return executed
+
+
+@pytest.fixture(scope="module")
+def xmark_fixture():
+    document = generate_xmark_document(scale=0.4, seed=548, name="xmark-vab")
+    summary = build_summary(document)
+    queries = [
+        pattern
+        for _, pattern in sorted(
+            xmark_query_patterns().items(), key=lambda kv: int(kv[0][1:])
+        )
+    ]
+    views = _materialised_views(summary, document, labels=_query_labels(queries))
+    # unions ON (unlike the staircase harness): the ordered k-way union
+    # merge is one of the batch kernels under test
+    config = RewritingConfig(
+        max_rewritings=3, max_plan_size=4, enable_unions=True,
+        time_budget_seconds=1.0,
+    )
+    return summary, views, queries, config
+
+
+def test_fig13_xmark_workload_vectorized_equals_oracle(xmark_fixture):
+    summary, views, queries, config = xmark_fixture
+    rewriter = Rewriter(summary, views, config)
+    executed = _assert_vectorized_matches_oracle(rewriter, queries)
+    assert executed >= 8, (
+        "the A/B harness must actually execute a meaningful share of plans"
+    )
+
+
+def test_fig14_dblp_workload_vectorized_equals_oracle():
+    document = generate_dblp_document("2005", scale=0.6, seed=5, name="dblp-vab")
+    summary = build_summary(document)
+    rng = random.Random(17)
+    pattern_config = SyntheticPatternConfig(
+        size=4,
+        optional_probability=0.5,
+        return_count=2,
+        return_labels=("author", "title", "year"),
+    )
+    queries = [
+        generate_random_pattern(summary, pattern_config, rng=rng, name=f"dblp-q{i}")
+        for i in range(8)
+    ]
+    views = _materialised_views(
+        summary, document, labels=_query_labels(queries),
+        random_view_count=6, seed=11,
+    )
+    config = RewritingConfig(
+        max_rewritings=3, max_plan_size=4, enable_unions=True,
+        time_budget_seconds=1.0,
+    )
+    rewriter = Rewriter(summary, views, config)
+    executed = _assert_vectorized_matches_oracle(rewriter, queries)
+    assert executed >= 1, "no plan was executed — the workload is degenerate"
+
+
+def test_database_executor_switch(xmark_fixture):
+    """The session-level strategy switch: same answers, cache flushed."""
+    summary, views, queries, config = xmark_fixture
+    document = generate_xmark_document(scale=0.4, seed=548, name="xmark-vab")
+    db = Database(document, views=views, config=config)
+    assert db.executor == "vectorized"  # the default
+
+    answerable = None
+    for query in queries:
+        if db.rewrite(query).found:
+            answerable = query
+            break
+    assert answerable is not None, "no XMark query is answerable on this fixture"
+
+    vectorized_result = db.query(answerable)
+    db.executor = "tuple"
+    assert db.executor == "tuple"
+    tuple_result = db.query(answerable)
+    assert [_hashable(r) for r in vectorized_result.rows] == [
+        _hashable(r) for r in tuple_result.rows
+    ]
+
+    with pytest.raises(SessionError, match="unknown executor strategy"):
+        db.executor = "turbo"
+    with pytest.raises(SessionError, match="unknown executor strategy"):
+        Database(document, executor="turbo")
+    assert set(EXECUTOR_STRATEGIES) == {"vectorized", "tuple"}
+    db.close()

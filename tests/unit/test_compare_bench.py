@@ -1,0 +1,146 @@
+"""The CI bench-delta gate's comparison logic (``tools/compare_bench.py``)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+sys.path.insert(0, str(ROOT / "tools"))
+from compare_bench import (  # noqa: E402
+    NEW,
+    OK,
+    REGRESSION,
+    SKIPPED,
+    compare_dirs,
+    iter_speedups,
+    render_markdown,
+)
+
+
+def _write(directory: Path, name: str, point: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(point))
+
+
+def _statuses(rows):
+    return {(row["file"], row["metric"]): row["status"] for row in rows}
+
+
+def test_iter_speedups_finds_top_level_and_workload_fields():
+    point = {
+        "speedup": 2.5,
+        "single_worker_speedup": 1.4,
+        "serial_seconds": 9.0,  # not a speedup: ignored
+        "cpu_count": 4,
+        "workloads": [
+            {"workload": "fig13", "speedup": 2.1, "rows_returned": 10},
+            {"workload": "fig14", "single_worker_speedup": 1.3},
+        ],
+    }
+    labels = dict(iter_speedups(point))
+    assert labels == {
+        "speedup": 2.5,
+        "single_worker_speedup": 1.4,
+        "fig13:speedup": 2.1,
+        "fig14:single_worker_speedup": 1.3,
+    }
+
+
+def test_regression_beyond_threshold_is_flagged(tmp_path):
+    _write(tmp_path / "old", "a.json", {"speedup": 2.0, "cpu_count": 4})
+    _write(tmp_path / "new", "a.json", {"speedup": 1.5, "cpu_count": 4})
+    rows = compare_dirs(tmp_path / "old", tmp_path / "new", threshold=0.2)
+    assert _statuses(rows) == {("a.json", "speedup"): REGRESSION}
+
+
+def test_drop_within_threshold_and_improvement_are_ok(tmp_path):
+    _write(
+        tmp_path / "old", "a.json",
+        {"speedup": 2.0, "pool_speedup": 1.5, "cpu_count": 4},
+    )
+    _write(
+        tmp_path / "new", "a.json",
+        {"speedup": 1.7, "pool_speedup": 3.0, "cpu_count": 4},
+    )
+    rows = compare_dirs(tmp_path / "old", tmp_path / "new", threshold=0.2)
+    assert _statuses(rows) == {
+        ("a.json", "speedup"): OK,
+        ("a.json", "pool_speedup"): OK,
+    }
+
+
+def test_missing_previous_artifact_is_warn_only(tmp_path):
+    _write(tmp_path / "new", "a.json", {"speedup": 0.1, "cpu_count": 4})
+    rows = compare_dirs(None, tmp_path / "new", threshold=0.2)
+    assert _statuses(rows) == {("a.json", "speedup"): NEW}
+
+
+def test_new_benchmark_file_is_warn_only(tmp_path):
+    _write(tmp_path / "old", "a.json", {"speedup": 2.0, "cpu_count": 4})
+    _write(tmp_path / "new", "a.json", {"speedup": 2.0, "cpu_count": 4})
+    _write(tmp_path / "new", "b.json", {"speedup": 0.5, "cpu_count": 4})
+    rows = compare_dirs(tmp_path / "old", tmp_path / "new", threshold=0.2)
+    assert _statuses(rows) == {
+        ("a.json", "speedup"): OK,
+        ("b.json", "speedup"): NEW,
+    }
+
+
+def test_cross_hardware_comparison_is_skipped(tmp_path):
+    # a regression-sized drop, but the cpu_count changed: refuse to compare
+    _write(tmp_path / "old", "a.json", {"speedup": 4.0, "cpu_count": 16})
+    _write(tmp_path / "new", "a.json", {"speedup": 1.0, "cpu_count": 1})
+    rows = compare_dirs(tmp_path / "old", tmp_path / "new", threshold=0.2)
+    assert _statuses(rows) == {("a.json", "speedup"): SKIPPED}
+
+
+def test_unstamped_points_still_compare(tmp_path):
+    # pre-gate artifacts carry no cpu_count; comparison proceeds
+    _write(tmp_path / "old", "a.json", {"speedup": 2.0})
+    _write(tmp_path / "new", "a.json", {"speedup": 1.0, "cpu_count": 4})
+    rows = compare_dirs(tmp_path / "old", tmp_path / "new", threshold=0.2)
+    assert _statuses(rows) == {("a.json", "speedup"): REGRESSION}
+
+
+def test_markdown_table_lists_every_row(tmp_path):
+    _write(tmp_path / "old", "a.json", {"speedup": 2.0, "cpu_count": 4})
+    _write(tmp_path / "new", "a.json", {"speedup": 1.0, "cpu_count": 4})
+    rows = compare_dirs(tmp_path / "old", tmp_path / "new", threshold=0.2)
+    table = render_markdown(rows, threshold=0.2, had_old=True)
+    assert "| a.json | speedup | 2.00x | 1.00x | -50.0% | **REGRESSION** |" in table
+
+
+def test_cli_exit_codes_and_summary(tmp_path):
+    _write(tmp_path / "old", "a.json", {"speedup": 2.0, "cpu_count": 4})
+    _write(tmp_path / "new", "a.json", {"speedup": 1.0, "cpu_count": 4})
+    summary = tmp_path / "summary.md"
+    script = ROOT / "tools" / "compare_bench.py"
+
+    failing = subprocess.run(
+        [
+            sys.executable, str(script),
+            "--old", str(tmp_path / "old"),
+            "--new", str(tmp_path / "new"),
+            "--summary", str(summary),
+        ],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert failing.returncode == 1
+    assert "REGRESSION" in failing.stderr
+    assert "## Bench delta" in summary.read_text()
+
+    # without a previous directory the same drop is warn-only: exit 0
+    passing = subprocess.run(
+        [
+            sys.executable, str(script),
+            "--old", str(tmp_path / "missing"),
+            "--new", str(tmp_path / "new"),
+        ],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert passing.returncode == 0
+    assert "warn-only" in passing.stdout

@@ -6,15 +6,21 @@ executable ``>>>``
 examples in their docstrings (they double as the quick-start snippets the
 docs link to).  This module runs them on every tier-1 invocation; the CI
 ``docs`` job additionally runs ``pytest --doctest-modules`` over the same
-curated list, so the two stay in lockstep by construction.
+list, derived from :data:`DOCTEST_MODULES` below by
+``tools/doctest_modules.py`` — this list is the single source of truth
+(``test_doctest_tool_emits_this_list`` keeps the tool honest).
 """
 
 from __future__ import annotations
 
 import doctest
+import pathlib
+import subprocess
+import sys
 
 import pytest
 
+import repro.algebra.columnar
 import repro.algebra.execution
 import repro.planning.planner
 import repro.rewriting.batch
@@ -24,6 +30,7 @@ import repro.views.catalog
 import repro.views.extent_store
 
 DOCTEST_MODULES = [
+    repro.algebra.columnar,
     repro.algebra.execution,
     repro.planning.planner,
     repro.rewriting.batch,
@@ -32,7 +39,8 @@ DOCTEST_MODULES = [
     repro.views.catalog,
     repro.views.extent_store,
 ]
-"""The curated doctest list — mirrored by the CI docs job; keep in sync."""
+"""The curated doctest list — the CI docs job derives its
+``--doctest-modules`` arguments from it through ``tools/doctest_modules.py``."""
 
 
 @pytest.mark.parametrize("module", DOCTEST_MODULES, ids=lambda m: m.__name__)
@@ -43,3 +51,22 @@ def test_public_api_doctests(module):
         f">>> examples — the public-API docstring contract is broken"
     )
     assert results.failed == 0, f"{results.failed} doctest(s) failed in {module.__name__}"
+
+
+def test_doctest_tool_emits_this_list():
+    """The CI docs job's list generator must track :data:`DOCTEST_MODULES`."""
+    root = pathlib.Path(__file__).resolve().parent.parent.parent
+    probe = subprocess.run(
+        [sys.executable, str(root / "tools" / "doctest_modules.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert probe.returncode == 0, probe.stderr
+    expected = [
+        pathlib.Path(module.__file__).resolve().relative_to(root).as_posix()
+        for module in DOCTEST_MODULES
+    ]
+    assert probe.stdout.split() == expected, (
+        "tools/doctest_modules.py and DOCTEST_MODULES have drifted apart"
+    )

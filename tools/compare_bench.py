@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Diff two ``bench-results/`` directories and fail on speedup regressions.
+
+The CI ``bench-delta`` job downloads the previous nightly ``bench-results``
+artifact into one directory, the fresh run's results into another, and runs::
+
+    python tools/compare_bench.py --old prev/ --new bench-results/ \
+        --threshold 0.2 --summary "$GITHUB_STEP_SUMMARY"
+
+For every ``*.json`` point in the new directory, every numeric field whose
+name ends in ``speedup`` (top-level and inside a ``workloads`` list) is
+compared against the same field in the previous run:
+
+* ``REGRESSION`` — the ratio dropped by more than ``--threshold`` (default
+  20 %); the script exits 1 so the job fails;
+* ``OK`` — within the threshold (improvements included);
+* ``NEW`` — no previous file or field to compare against (warn-only: the
+  first nightly after a new benchmark lands must stay green);
+* ``SKIPPED`` — the two runs report different ``cpu_count`` values, so the
+  numbers come from different hardware shapes and a ratio diff would be
+  noise, not signal.
+
+A markdown table of every comparison goes to ``--summary`` (appended, the
+``$GITHUB_STEP_SUMMARY`` contract) and to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REGRESSION = "REGRESSION"
+OK = "OK"
+NEW = "NEW"
+SKIPPED = "SKIPPED"
+
+
+def iter_speedups(point: dict):
+    """Yield ``(label, value)`` for every speedup field in one JSON point.
+
+    Top-level numeric fields ending in ``speedup`` come first, then the
+    per-workload fields of a ``workloads`` list, labelled
+    ``<workload>:<field>`` so the two fig13/fig14 entries stay distinct.
+    """
+    for key in sorted(point):
+        value = point[key]
+        if key.endswith("speedup") and isinstance(value, (int, float)):
+            yield key, float(value)
+    for entry in point.get("workloads", ()):
+        if not isinstance(entry, dict):
+            continue
+        name = entry.get("workload", "workload")
+        for key in sorted(entry):
+            value = entry[key]
+            if key.endswith("speedup") and isinstance(value, (int, float)):
+                yield f"{name}:{key}", float(value)
+
+
+def load_point(path: Path) -> dict | None:
+    try:
+        point = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return point if isinstance(point, dict) else None
+
+
+def compare_dirs(old_dir: Path | None, new_dir: Path, threshold: float) -> list[dict]:
+    """One comparison row per speedup field of every new ``*.json`` point."""
+    rows: list[dict] = []
+    for new_path in sorted(new_dir.glob("*.json")):
+        new_point = load_point(new_path)
+        if new_point is None:
+            continue
+        old_point = None
+        if old_dir is not None:
+            old_candidate = old_dir / new_path.name
+            if old_candidate.exists():
+                old_point = load_point(old_candidate)
+        hardware_mismatch = (
+            old_point is not None
+            and old_point.get("cpu_count") is not None
+            and new_point.get("cpu_count") is not None
+            and old_point.get("cpu_count") != new_point.get("cpu_count")
+        )
+        old_speedups = dict(iter_speedups(old_point)) if old_point else {}
+        for label, new_value in iter_speedups(new_point):
+            row = {
+                "file": new_path.name,
+                "metric": label,
+                "new": new_value,
+                "old": old_speedups.get(label),
+            }
+            if row["old"] is None:
+                row["status"] = NEW
+            elif hardware_mismatch:
+                row["status"] = SKIPPED
+                row["note"] = (
+                    f"cpu_count {old_point.get('cpu_count')} -> "
+                    f"{new_point.get('cpu_count')}"
+                )
+            elif new_value < row["old"] * (1.0 - threshold):
+                row["status"] = REGRESSION
+            else:
+                row["status"] = OK
+            rows.append(row)
+    return rows
+
+
+def render_markdown(rows: list[dict], threshold: float, had_old: bool) -> str:
+    lines = ["## Bench delta", ""]
+    if not had_old:
+        lines.append(
+            "_No previous `bench-results` artifact was found — every metric "
+            "is reported as NEW and nothing can regress (warn-only run)._"
+        )
+        lines.append("")
+    lines += [
+        f"Regression threshold: a speedup dropping more than "
+        f"{threshold:.0%} vs the previous run fails the job.",
+        "",
+        "| file | metric | previous | current | delta | status |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        old = row["old"]
+        if old is None:
+            previous, delta = "—", "—"
+        else:
+            previous = f"{old:.2f}x"
+            delta = f"{(row['new'] - old) / old:+.1%}" if old else "—"
+        status = row["status"]
+        if status == REGRESSION:
+            status = f"**{status}**"
+        if row.get("note"):
+            status = f"{status} ({row['note']})"
+        lines.append(
+            f"| {row['file']} | {row['metric']} | {previous} "
+            f"| {row['new']:.2f}x | {delta} | {status} |"
+        )
+    if not rows:
+        lines.append("| _no `*.json` points found_ | | | | | |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--old",
+        type=Path,
+        default=None,
+        help="previous run's bench-results directory (omit or point at a "
+        "missing directory for a warn-only run)",
+    )
+    parser.add_argument(
+        "--new", type=Path, required=True, help="fresh bench-results directory"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="fractional speedup drop that counts as a regression "
+        "(default: 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        help="markdown file to append the comparison table to "
+        "(e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.new.is_dir():
+        print(f"error: --new directory {args.new} does not exist", file=sys.stderr)
+        return 2
+    old_dir = args.old if args.old is not None and args.old.is_dir() else None
+    if args.old is not None and old_dir is None:
+        print(f"note: no previous results at {args.old}; warn-only run")
+
+    rows = compare_dirs(old_dir, args.new, args.threshold)
+    table = render_markdown(rows, args.threshold, had_old=old_dir is not None)
+    print(table)
+    if args.summary is not None:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(table)
+
+    regressions = [row for row in rows if row["status"] == REGRESSION]
+    for row in regressions:
+        print(
+            f"REGRESSION: {row['file']} {row['metric']} "
+            f"{row['old']:.2f}x -> {row['new']:.2f}x",
+            file=sys.stderr,
+        )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

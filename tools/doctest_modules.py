@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Print the curated public-API doctest file list, one path per line.
+
+``tests/unit/test_doctests.py`` owns the single source of truth — its
+``DOCTEST_MODULES`` list.  The CI ``docs`` job runs::
+
+    pytest --doctest-modules -q $(python tools/doctest_modules.py)
+
+so the job can never drift from what tier-1 actually doctests — the old
+failure mode where a module was added to one list but not the other.
+
+Paths are printed relative to the repository root (the CI job's working
+directory), in the list's order.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TEST_DOCTESTS = ROOT / "tests" / "unit" / "test_doctests.py"
+
+
+def doctest_module_paths() -> list[str]:
+    """Repo-relative source paths of every module on the curated list."""
+    # import the test module by file path: tests/ is not a package on
+    # sys.path, and this must work from any working directory
+    sys.path.insert(0, str(ROOT / "src"))
+    spec = importlib.util.spec_from_file_location("_doctest_list", TEST_DOCTESTS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    paths = []
+    for listed in module.DOCTEST_MODULES:
+        source = Path(listed.__file__).resolve()
+        paths.append(source.relative_to(ROOT).as_posix())
+    return paths
+
+
+def main() -> int:
+    for path in doctest_module_paths():
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
