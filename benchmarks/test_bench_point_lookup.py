@@ -1,0 +1,142 @@
+"""Point-lookup benchmark: value-index probes vs. full extent scans.
+
+The value-index tentpole exists for exactly one workload shape: *selective*
+predicates over large materialised extents.  This benchmark measures it
+end to end and records ``bench-results/point_lookup.json`` (uploaded by
+the CI ``bench-smoke`` job, regression-gated on its ``*speedup`` fields by
+``tools/compare_bench.py``):
+
+* **ordered probe** — an equality at ~0.5% selectivity over a
+  high-cardinality string column (above the bitmap threshold, so an
+  :class:`~repro.views.indexes.OrderedIndex` bisects);
+* **bitmap probe** — an equality over a low-cardinality column (a
+  :class:`~repro.views.indexes.BitmapIndex` ORs row bitmaps).
+
+Each is timed as repeated warm ``db.query(...)`` calls — plan cache hot,
+index built, the steady state of a point-lookup service — against the same
+plans *without* the pushdown transform (``rewriting.plan``: scan then
+filter) on the same warm session.  Rows must be identical; the hard
+assertion is the acceptance bar: selective equality probes at least **5×**
+faster than the scan on the ordered path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import Database, parse_parenthesized
+from repro.algebra.execution import PlanExecutor
+from repro.algebra.tuples import _hashable
+from repro.views.indexes import INDEX_STATS
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+ITEMS = 50_000
+"""Extent rows: big enough that a linear scan visibly loses to a probe."""
+
+ORDERED_LABELS = 200
+"""Distinct values of the high-cardinality column — past the bitmap
+threshold (64), so its index is an OrderedIndex; equality selects 0.5%."""
+
+BITMAP_LABELS = 25
+"""Distinct values of the low-cardinality column — a BitmapIndex; equality
+selects 4%."""
+
+REPS = 15
+"""Timed repetitions per path; the medians go into the artifact."""
+
+MIN_ORDERED_SPEEDUP = 5.0
+"""The acceptance bar: selective point lookups ≥ 5× over the full scan."""
+
+
+def _median_seconds(run, reps=REPS):
+    timings = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    return timings[len(timings) // 2]
+
+
+@pytest.mark.benchmark(group="point-lookup")
+def test_index_probe_beats_full_scan(bench_writer):
+    document = parse_parenthesized(
+        "site("
+        + " ".join(
+            f'item(name="k{i % ORDERED_LABELS:03d}" grp="g{i % BITMAP_LABELS}")'
+            for i in range(ITEMS)
+        )
+        + ")"
+    )
+    db = Database(document)
+    db.create_view("site(/item(/name[ID,V]))", name="names")
+    db.create_view("site(/item(/grp[ID,V]))", name="groups")
+
+    ordered_query = 'site(/item(/name[ID,V]{v="k123"}))'
+    bitmap_query = 'site(/item(/grp[ID,V]{v="g7"}))'
+
+    INDEX_STATS.reset()
+    results = {}
+    for label, query in [("ordered", ordered_query), ("bitmap", bitmap_query)]:
+        prepared = db.prepare(query)
+        planned = prepared.choice.best
+        scan_plan = planned.rewriting.plan        # untransformed: scan + filter
+        index_plan = planned.plan_operator        # pushdown: IndexScan probe
+
+        index_result = prepared.run()             # warm: index built, cache hot
+        scan_result = PlanExecutor(db.views).execute(scan_plan)
+        assert [_hashable(r) for r in index_result.rows] == [
+            _hashable(r) for r in scan_result.rows
+        ], f"{label}: the index path must be row-identical to the scan"
+
+        index_seconds = _median_seconds(
+            lambda: PlanExecutor(db.views).execute(index_plan)
+        )
+        scan_seconds = _median_seconds(
+            lambda: PlanExecutor(db.views).execute(scan_plan)
+        )
+        results[label] = {
+            "rows": len(index_result),
+            "index_seconds": index_seconds,
+            "scan_seconds": scan_seconds,
+            "speedup": scan_seconds / index_seconds if index_seconds else float("inf"),
+        }
+
+    assert INDEX_STATS.builds == 2, "one index per probed column"
+    ordered = results["ordered"]
+    bitmap = results["bitmap"]
+    assert ordered["rows"] == ITEMS // ORDERED_LABELS
+    assert bitmap["rows"] == ITEMS // BITMAP_LABELS
+
+    # the acceptance bar: a ~0.5%-selectivity equality probe must beat the
+    # full scan by 5× — the probe bisects 250 positions out of 50k rows,
+    # the scan decodes and tests every row
+    assert ordered["speedup"] >= MIN_ORDERED_SPEEDUP, (
+        f"ordered point lookup ({ordered['index_seconds'] * 1000:.2f}ms) must "
+        f"be at least {MIN_ORDERED_SPEEDUP}x faster than the full scan "
+        f"({ordered['scan_seconds'] * 1000:.2f}ms); got {ordered['speedup']:.1f}x"
+    )
+    assert bitmap["speedup"] > 1.0, (
+        f"bitmap lookup should beat the scan; got {bitmap['speedup']:.2f}x"
+    )
+
+    point = {
+        "bench": "point_lookup",
+        "rows": ITEMS,
+        "reps": REPS,
+        "ordered_labels": ORDERED_LABELS,
+        "bitmap_labels": BITMAP_LABELS,
+        "ordered_index_seconds": round(ordered["index_seconds"], 6),
+        "ordered_scan_seconds": round(ordered["scan_seconds"], 6),
+        "ordered_probe_speedup": round(ordered["speedup"], 2),
+        "bitmap_index_seconds": round(bitmap["index_seconds"], 6),
+        "bitmap_scan_seconds": round(bitmap["scan_seconds"], 6),
+        "bitmap_probe_speedup": round(bitmap["speedup"], 2),
+    }
+    print(f"\nBENCH_JSON: {json.dumps(point)}")
+    bench_writer("point_lookup.json", point)
+    db.close()

@@ -17,6 +17,7 @@ from repro.algebra.operators import (
     ContentNavigation,
     GroupBy,
     IdEqualityJoin,
+    IndexScan,
     NestedStructuralJoin,
     ParentIdDerivation,
     PlanOperator,
@@ -34,6 +35,7 @@ __all__ = [
     "Relation",
     "PlanOperator",
     "ViewScan",
+    "IndexScan",
     "IdEqualityJoin",
     "StructuralJoin",
     "NestedStructuralJoin",

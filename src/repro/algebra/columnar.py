@@ -317,7 +317,7 @@ class _ColumnSource:
     per underlying column.
     """
 
-    __slots__ = ("_values", "_keys", "_loader", "_parent", "_indices")
+    __slots__ = ("_values", "_keys", "_loader", "_parent", "_indices", "index", "index_blob")
 
     def __init__(
         self,
@@ -331,6 +331,12 @@ class _ColumnSource:
         self._parent = parent
         self._indices = indices
         self._keys: Optional[list] = None
+        # value-index cache (repro.views.indexes): the built/attached index,
+        # or the UNINDEXABLE sentinel, or an encoded blob awaiting its first
+        # probe.  Deliberately NOT propagated through gathers — a gather's
+        # row positions differ from its parent's.
+        self.index = None
+        self.index_blob = None
 
     def values(self) -> list:
         if self._values is None:
@@ -620,6 +626,7 @@ class ColumnarPayload:
         "_lengths",
         "_cache",
         "bytes_touched",
+        "body_end",
     )
 
     def __init__(self, payload) -> None:
@@ -643,6 +650,10 @@ class ColumnarPayload:
         self._lengths = lengths
         self._cache: dict[int, list] = {}
         self.bytes_touched = reader.offset
+        # first byte past the last column block: anything after it in the
+        # buffer is a trailer (e.g. the extent store's value-index section),
+        # invisible to this parser
+        self.body_end = position
 
     def column_values(self, index: int) -> list:
         """Decode (once) and return one column's cell block."""

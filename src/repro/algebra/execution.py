@@ -46,6 +46,7 @@ from repro.algebra.operators import (
     ContentNavigation,
     GroupBy,
     IdEqualityJoin,
+    IndexScan,
     NestedProjection,
     NestedStructuralJoin,
     ParentIdDerivation,
@@ -281,6 +282,8 @@ class PlanExecutor:
     def _execute(self, plan: PlanOperator) -> Relation:
         if isinstance(plan, ViewScan):
             return self._execute_scan(plan)
+        if isinstance(plan, IndexScan):
+            return self._execute_index_scan(plan)
         if isinstance(plan, IdEqualityJoin):
             return self._execute_id_join(plan)
         if isinstance(plan, StructuralJoin):
@@ -311,6 +314,8 @@ class PlanExecutor:
     def _execute_batch(self, plan: PlanOperator) -> ColumnBatch:
         if isinstance(plan, ViewScan):
             return self._scan_batch(plan)
+        if isinstance(plan, IndexScan):
+            return self._index_scan_batch(plan)
         if isinstance(plan, Selection):
             return self._selection_batch(plan)
         if isinstance(plan, Projection):
@@ -342,6 +347,39 @@ class PlanExecutor:
         if base.sorted_by is not None:
             sorted_by = f"{alias}.{base.sorted_by}"
         return base.with_schema(columns, sorted_by)
+
+    def _index_scan_batch(self, plan: IndexScan) -> ColumnBatch:
+        """Scan + pushed σ: probe the column's value index, gather positions.
+
+        The index is cached on the *base* batch's column source (shared
+        across queries through the per-relation batch cache / the attached
+        extent), built lazily on this first probe or decoded from the blob
+        the extent store published.  An unindexable column falls back to
+        the selection kernel over the same source — identical rows either
+        way.  Probe positions come back ascending, so the Dewey-order
+        annotation survives exactly as it does for a filter.
+        """
+        try:
+            view = self._views[plan.view_name]
+        except KeyError as exc:
+            raise PlanExecutionError(f"unknown view {plan.view_name!r}") from exc
+        base = getattr(view, "column_batch", None)
+        if base is None:
+            base = ColumnBatch.from_relation(view.relation)
+        source = base.source(base.column_index(plan.base_column))
+        from repro.views.indexes import index_for_source
+
+        index = index_for_source(source)
+        if index is not None:
+            keep = index.probe(plan.formula)
+        else:
+            keep = kernels.selection_indices(source.values(), plan.formula)
+        alias = plan.effective_alias
+        columns = [column.renamed(f"{alias}.{column.name}") for column in base.columns]
+        sorted_by = None
+        if base.sorted_by is not None:
+            sorted_by = f"{alias}.{base.sorted_by}"
+        return base.with_schema(columns, sorted_by).gather(keep, sorted_by=sorted_by)
 
     def _batch_keys(self, batch: ColumnBatch, index: int) -> list:
         """Cached Dewey component keys, error-wrapped like :meth:`_as_dewey`."""
@@ -491,6 +529,34 @@ class PlanExecutor:
             # survives qualification so downstream merges skip their sort
             qualified.sorted_by = f"{alias}.{relation.sorted_by}"
         return qualified
+
+    def _execute_index_scan(self, plan: IndexScan) -> Relation:
+        """The tuple oracle for :class:`IndexScan`: scan, then filter.
+
+        Deliberately *never* touches an index — it is the literal
+        composition of :meth:`_execute_scan` and :meth:`_execute_selection`,
+        so A/B suites can assert exact row identity between the index path
+        and the semantics it claims to implement.
+        """
+        try:
+            view = self._views[plan.view_name]
+        except KeyError as exc:
+            raise PlanExecutionError(f"unknown view {plan.view_name!r}") from exc
+        relation: Relation = view.relation
+        alias = plan.effective_alias
+        result = Relation(
+            [column.renamed(f"{alias}.{column.name}") for column in relation.columns]
+        )
+        if relation.sorted_by is not None:
+            result.sorted_by = f"{alias}.{relation.sorted_by}"
+        index = relation.column_index(plan.base_column)
+        for row in relation.rows:
+            value = row[index]
+            if isinstance(value, XMLNode):
+                value = value.value
+            if plan.formula.evaluate(value):
+                result.rows.append(row)
+        return result
 
     # ------------------------------------------------------------------ #
     # joins

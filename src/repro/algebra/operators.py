@@ -33,6 +33,7 @@ from repro.patterns.predicates import ValueFormula
 __all__ = [
     "PlanOperator",
     "ViewScan",
+    "IndexScan",
     "IdEqualityJoin",
     "StructuralJoin",
     "NestedStructuralJoin",
@@ -62,7 +63,11 @@ class PlanOperator:
         view_rows(view_name) -> float            # extent size of a view
         equality_join_rows(left, right) -> float # |l ⋈= r| from |l|, |r|
         structural_join_rows(left, right, axis) -> float
-        selection_selectivity(formula) -> float  # fraction kept by σ
+        selection_selectivity(formula, view_name=None, column=None) -> float
+                                                 # fraction kept by σ; the
+                                                 # optional (view, column)
+                                                 # pair unlocks per-column
+                                                 # histogram estimates
         navigation_matches(steps) -> float       # matches per row of nav
         unnest_fanout() -> float                 # rows per nested group
         group_reduction() -> float               # input rows per group
@@ -123,6 +128,54 @@ class ViewScan(PlanOperator):
     def _describe_self(self) -> str:
         alias = f" as {self.alias}" if self.alias else ""
         return f"ViewScan({self.view_name}{alias})"
+
+
+@dataclass
+class IndexScan(PlanOperator):
+    """``σ`` pushed below a scan: probe a view's value index directly.
+
+    Semantically equivalent to ``Selection(column, formula)`` over
+    ``ViewScan(view_name, alias)`` — the planner's pushdown pass
+    (:mod:`repro.planning.pushdown`) only emits it when the cost model
+    prefers an index probe over the scan-and-filter pair.  The vectorized
+    executor serves it with a positional gather driven by the view's
+    per-column secondary index (:mod:`repro.views.indexes`); the tuple
+    interpreter deliberately keeps scanning and filtering so it stays an
+    exact row-identity oracle for the index path.
+    """
+
+    view_name: str
+    column: str  # qualified as <alias>.<base>, like every plan column
+    formula: ValueFormula = field(default_factory=ValueFormula.true)
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        """Alias used to qualify output column names."""
+        return self.alias or self.view_name
+
+    @property
+    def base_column(self) -> str:
+        """The probed column's name inside the view (alias prefix stripped)."""
+        prefix = f"{self.effective_alias}."
+        if self.column.startswith(prefix):
+            return self.column[len(prefix):]
+        return self.column
+
+    def view_scan_count(self) -> int:
+        return 1
+
+    def estimate_rows(self, child_rows: Sequence[float], context) -> float:
+        return context.view_rows(self.view_name) * context.selection_selectivity(
+            self.formula, self.view_name, self.base_column
+        )
+
+    def _describe_self(self) -> str:
+        alias = f" as {self.alias}" if self.alias else ""
+        return (
+            f"IndexScan({self.view_name}{alias}:"
+            f" {self.column} {self.formula.to_text()})"
+        )
 
 
 @dataclass

@@ -27,7 +27,7 @@ from typing import Iterable, Optional
 
 from repro.errors import PredicateError
 
-__all__ = ["ValueFormula"]
+__all__ = ["ValueFormula", "value_order_key"]
 
 _NUMBER_KIND = 0
 _STRING_KIND = 1
@@ -40,6 +40,12 @@ def _key(value) -> tuple[int, object]:
     if isinstance(value, (int, float)):
         return (_NUMBER_KIND, value)
     return (_STRING_KIND, str(value))
+
+
+#: The public name of the formula domain's total order.  Value indexes sort
+#: column entries by this exact key so bisection probes agree with
+#: :meth:`ValueFormula.evaluate` on every mixed-type column.
+value_order_key = _key
 
 
 class _Bound:
@@ -286,6 +292,23 @@ class ValueFormula:
             and interval.low.closed
             and interval.high.closed
             and interval.low.key() == interval.high.key()
+        )
+
+    def interval_bounds(self) -> tuple[tuple, ...]:
+        """The normal form as ``(low_key, low_closed, high_key, high_closed)``.
+
+        Keys are :func:`value_order_key` tuples (``None`` for an infinite
+        endpoint), intervals are disjoint and ascending — exactly the shape
+        an ordered index bisects over.
+        """
+        return tuple(
+            (
+                interval.low.key(),
+                interval.low.closed,
+                interval.high.key(),
+                interval.high.closed,
+            )
+            for interval in self._intervals
         )
 
     def evaluate(self, value) -> bool:

@@ -37,6 +37,7 @@ from repro.algebra.operators import (
     ContentNavigation,
     GroupBy,
     IdEqualityJoin,
+    IndexScan,
     NestedProjection,
     NestedStructuralJoin,
     ParentIdDerivation,
@@ -119,7 +120,9 @@ def plan_sorted_on(
       analysis conservatively treats as unsorted);
     * everything else is treated as unsorted.
     """
-    if isinstance(operator, ViewScan):
+    if isinstance(operator, (ViewScan, IndexScan)):
+        # an IndexScan is scan + σ and probes return ascending positions,
+        # so it emits extent document order exactly like the plain scan
         alias_prefix = f"{operator.effective_alias}."
         if not column.startswith(alias_prefix):
             return False
@@ -232,6 +235,7 @@ class CostModel:
 
     _KERNEL_OPERATORS = (
         ViewScan,
+        IndexScan,
         Selection,
         Projection,
         IdEqualityJoin,
@@ -267,9 +271,27 @@ class CostModel:
             per_row = self.statistics.average_depth if self.statistics else 2.0
         return max(min(left * right, right * per_row), 1.0)
 
-    def selection_selectivity(self, formula: ValueFormula) -> float:
+    def selection_selectivity(
+        self,
+        formula: ValueFormula,
+        view_name: Optional[str] = None,
+        column: Optional[str] = None,
+    ) -> float:
+        """Fraction of rows a ``σ formula`` keeps.
+
+        When the caller names the (view, column) the formula applies to —
+        :class:`~repro.algebra.operators.IndexScan` and the pushdown pass
+        do — and per-column statistics exist for it, the estimate comes
+        from the observed value distribution (exact common-value counts or
+        an equi-width histogram); otherwise the uncalibrated constants
+        stand in, exactly as before.
+        """
         if formula.is_true():
             return 1.0
+        if view_name is not None and column is not None and self.statistics is not None:
+            estimated = self.statistics.column_selectivity(view_name, column, formula)
+            if estimated is not None:
+                return estimated
         if formula.is_point():
             return self.equality_selection_selectivity
         return self.default_selection_selectivity
@@ -294,6 +316,41 @@ class CostModel:
         """Cost of Dewey-sorting ``rows`` rows (the merge-join fallback)."""
         return self.sort_cost_factor * rows * math.log2(rows + 2.0)
 
+    def index_probe_cost(self, rows: float, output_rows: float) -> float:
+        """Work of an index probe over a ``rows``-row extent.
+
+        A bisection (or per-distinct-value bitmap OR) locates the matches in
+        ``log₂`` of the extent, then every matched position is gathered —
+        sub-linear for selective predicates, degrading gracefully toward the
+        scan as the output approaches the extent.
+        """
+        return math.log2(rows + 2.0) + output_rows
+
+    def prefers_index_scan(
+        self, view_name: str, column: str, formula: ValueFormula
+    ) -> bool:
+        """Should ``σ formula`` over a scan of ``view_name`` become an
+        :class:`~repro.algebra.operators.IndexScan` on ``column``?
+
+        Requires exact per-view statistics (the materialized-extent case —
+        indexes live on extents) *and* per-column value statistics for the
+        probed column: their absence means the column was never observed or
+        holds values an index cannot order, so the scan stays.  Past the
+        eligibility gate the access paths compete on cost: the probe must
+        beat filtering every extent row.
+        """
+        if formula.is_true() or not formula.is_satisfiable():
+            return False
+        if self.statistics is None or not self.statistics.view_rows_exact(view_name):
+            return False
+        if self.statistics.view_column_stats(view_name, column) is None:
+            return False
+        rows = self.view_rows(view_name)
+        output = rows * self.selection_selectivity(formula, view_name, column)
+        # the competing scan-and-filter pass touches every row twice (filter
+        # + gather); charging it 2·rows keeps the decision scale-free
+        return self.index_probe_cost(rows, output) < 2.0 * rows
+
     def operator_cost(
         self,
         operator: PlanOperator,
@@ -301,7 +358,11 @@ class CostModel:
         output_rows: float,
     ) -> float:
         """Work of one operator given input and output cardinalities."""
-        if isinstance(operator, IdEqualityJoin):
+        if isinstance(operator, IndexScan):
+            work = self.index_probe_cost(
+                self.view_rows(operator.view_name), output_rows
+            )
+        elif isinstance(operator, IdEqualityJoin):
             work = child_rows[0] + child_rows[1] + output_rows
         elif isinstance(operator, (StructuralJoin, NestedStructuralJoin)):
             # the staircase merge join: one pass over both sorted inputs

@@ -21,11 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.algebra.operators import PlanOperator
 from repro.algebra.tuples import Relation
 from repro.errors import RewritingError
 from repro.patterns.pattern import TreePattern
 from repro.planning.cost import CostModel
 from repro.planning.logical import LogicalPlan, lower_plan
+from repro.planning.pushdown import push_selections
 from repro.rewriting.algorithm import Rewriting, RewritingStatistics
 from repro.summary.statistics import Statistics
 
@@ -46,6 +48,17 @@ class PlannedRewriting:
 
     search_order: int = 0
     """Position in which the rewriting search reported this alternative."""
+
+    @property
+    def plan_operator(self) -> PlanOperator:
+        """The executable operator tree — the *transformed* plan.
+
+        This is what every execution site must run: it carries the access
+        paths the planner chose (selections pushed into
+        :class:`~repro.algebra.operators.IndexScan` probes), whereas
+        ``rewriting.plan`` is the search's untouched output — still valid,
+        still semantically identical, but always scan-and-filter."""
+        return self.logical_plan.to_algebra()
 
     @property
     def cost(self) -> float:
@@ -188,10 +201,20 @@ class Planner:
 
     # ------------------------------------------------------------------ #
     def rank(self, outcome: "RewriteOutcome") -> list[PlannedRewriting]:
-        """Lower and rank every rewriting of an outcome, cheapest first."""
+        """Lower and rank every rewriting of an outcome, cheapest first.
+
+        Each rewriting's plan is first run through the predicate-pushdown
+        pass (selections sink into index probes where the cost model's
+        access-path comparison prefers them), so costs, ``EXPLAIN`` output
+        and execution all speak about the same transformed operators.
+        """
         model = self.cost_model
         lowered = [
-            (lower_plan(rewriting, model), search_order, rewriting)
+            (
+                lower_plan(push_selections(rewriting.plan, model), model),
+                search_order,
+                rewriting,
+            )
             for search_order, rewriting in enumerate(outcome.rewritings)
         ]
         lowered.sort(
@@ -225,9 +248,17 @@ class Planner:
     def execute(self, planned: PlannedRewriting) -> Relation:
         """Execute a planned rewriting over the rewriter's views.
 
-        Lowering is lossless (``to_algebra`` returns the rewriting's own
-        operator tree), so this delegates to :meth:`Rewriter.execute`."""
-        return self.rewriter.execute(planned.rewriting)
+        Runs ``planned.plan_operator`` — the pushdown-transformed tree the
+        costs were computed over — under the rewriter's configured executor
+        strategy, so the chosen access paths (index probes vs. scans) are
+        what actually executes."""
+        from repro.algebra.execution import PlanExecutor
+
+        executor = PlanExecutor(
+            self.rewriter.views,
+            executor=getattr(self.rewriter, "executor_strategy", "vectorized"),
+        )
+        return executor.execute(planned.plan_operator)
 
     def answer(self, query: TreePattern) -> Relation:
         """Plan and execute in one call (raises when no rewriting exists)."""

@@ -1,0 +1,164 @@
+"""Predicate pushdown: rewrite ``σ`` over scans into index probes.
+
+The rewriting search emits selections wherever the pattern put them —
+typically directly above the view scans, but projections, other selections
+and joins can sit in between.  This pass sinks every value selection as far
+toward its origin scan as the algebra allows and, when it reaches a
+:class:`~repro.algebra.operators.ViewScan` *and* the cost model's
+access-path comparison prefers an index probe
+(:meth:`~repro.planning.cost.CostModel.prefers_index_scan`), fuses the pair
+into an :class:`~repro.algebra.operators.IndexScan`.  Selections that
+cannot sink (the column is computed downstream, the operator in between
+does not commute, or the scan's column has no usable index) stay exactly
+where they were.
+
+The transform is *purely constructive*: plans are DAGs shared between
+rewriting alternatives, so no operator is ever mutated — every changed
+node is rebuilt with :func:`dataclasses.replace` and untouched sub-DAGs
+are reused by object identity.  Executing the original plan afterwards
+still yields the original semantics (the A/B suites rely on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.algebra.operators import (
+    IdEqualityJoin,
+    IndexScan,
+    NestedStructuralJoin,
+    PlanOperator,
+    Projection,
+    Selection,
+    StructuralJoin,
+    UnionPlan,
+    ViewScan,
+)
+from repro.patterns.predicates import ValueFormula
+from repro.planning.cost import CostModel
+
+__all__ = ["push_selections"]
+
+
+def push_selections(plan: PlanOperator, model: CostModel) -> PlanOperator:
+    """Sink value selections below scans where an index probe wins.
+
+    Returns a plan semantically identical to ``plan``; the input is never
+    mutated (shared sub-DAGs stay shared — rebuilt nodes are new objects).
+    """
+    memo: dict[int, PlanOperator] = {}
+    stack: list[tuple[PlanOperator, bool]] = [(plan, False)]
+    while stack:
+        operator, expanded = stack.pop()
+        if id(operator) in memo:
+            continue
+        if not expanded:
+            stack.append((operator, True))
+            for child in operator.children():
+                if id(child) not in memo:
+                    stack.append((child, False))
+            continue
+        rebuilt = _with_children(operator, memo)
+        if isinstance(rebuilt, Selection):
+            sunk = _sink(rebuilt.child, rebuilt.column, rebuilt.formula, model)
+            if sunk is not None:
+                rebuilt = sunk
+        memo[id(operator)] = rebuilt
+    return memo[id(plan)]
+
+
+def _with_children(operator: PlanOperator, memo: dict[int, PlanOperator]) -> PlanOperator:
+    """The operator with its children swapped for their transformed forms.
+
+    Identity-preserving: when nothing under an operator changed, the
+    original object is returned, so unaffected sub-DAGs keep their sharing
+    (and the executor's per-object memo keeps deduplicating them).
+    """
+    if isinstance(operator, (IdEqualityJoin, StructuralJoin, NestedStructuralJoin)):
+        left = memo[id(operator.left)]
+        right = memo[id(operator.right)]
+        if left is operator.left and right is operator.right:
+            return operator
+        return replace(operator, left=left, right=right)
+    if isinstance(operator, UnionPlan):
+        plans = tuple(memo[id(branch)] for branch in operator.plans)
+        if all(new is old for new, old in zip(plans, operator.plans)):
+            return operator
+        return replace(operator, plans=plans)
+    child = getattr(operator, "child", None)
+    if child is not None:
+        rebuilt_child = memo[id(child)]
+        if rebuilt_child is not child:
+            return replace(operator, child=rebuilt_child)
+    return operator
+
+
+def _sink(
+    operator: PlanOperator, column: str, formula: ValueFormula, model: CostModel
+) -> Optional[PlanOperator]:
+    """``σ_{column: formula}`` pushed into ``operator``, or ``None``.
+
+    ``None`` means the selection cannot sink any further from here — the
+    caller keeps it in place.  Every successful return is a *new* operator
+    object (``dataclasses.replace``), so shared sub-DAGs are never edited
+    under other parents.
+    """
+    if isinstance(operator, ViewScan):
+        prefix = f"{operator.effective_alias}."
+        if not column.startswith(prefix):
+            return None
+        base = column[len(prefix):]
+        if not model.prefers_index_scan(operator.view_name, base, formula):
+            return None
+        return IndexScan(
+            view_name=operator.view_name,
+            column=column,
+            formula=formula,
+            alias=operator.alias,
+        )
+    if isinstance(operator, IndexScan):
+        # a second selection on the same probed column merges into the
+        # probe (interval normal form conjoins exactly); a different column
+        # stays above as a filter over the (already reduced) probe output
+        if column != operator.column:
+            return None
+        return replace(operator, formula=operator.formula.and_(formula))
+    if isinstance(operator, Selection):
+        # selections commute: try below the inner one first
+        sunk = _sink(operator.child, column, formula, model)
+        if sunk is None:
+            return None
+        return replace(operator, child=sunk)
+    if isinstance(operator, Projection):
+        # the probed column must exist below the projection under its
+        # pre-rename name and actually be kept by it
+        renames = dict(operator.renames or {})
+        original = next(
+            (old for old, new in renames.items() if new == column), column
+        )
+        if original not in operator.columns:
+            return None
+        sunk = _sink(operator.child, original, formula, model)
+        if sunk is None:
+            return None
+        return replace(operator, child=sunk)
+    if isinstance(operator, (IdEqualityJoin, StructuralJoin)):
+        # a selection filters whichever input carries the column; joins
+        # qualify every column with a distinct alias prefix, so exactly one
+        # side can accept it
+        sunk = _sink(operator.left, column, formula, model)
+        if sunk is not None:
+            return replace(operator, left=sunk)
+        sunk = _sink(operator.right, column, formula, model)
+        if sunk is not None:
+            return replace(operator, right=sunk)
+        return None
+    if isinstance(operator, NestedStructuralJoin):
+        # right-side rows are grouped, not filtered, by this join — only a
+        # selection on the outer (left) side commutes with it
+        sunk = _sink(operator.left, column, formula, model)
+        if sunk is not None:
+            return replace(operator, left=sunk)
+        return None
+    return None

@@ -274,7 +274,7 @@ def _worker_execute(
         executor = PlanExecutor(
             _WORKER_EXTENTS, executor=_WORKER_REWRITER.executor_strategy
         )
-        batch = executor.execute_batch(planned.rewriting.plan)
+        batch = executor.execute_batch(planned.plan_operator)
         results.append(
             (
                 index,
@@ -493,7 +493,7 @@ class BatchEngine:
             relation = PlanExecutor(
                 self.rewriter.views,
                 executor=getattr(self.rewriter, "executor_strategy", "vectorized"),
-            ).execute(planned.rewriting.plan)
+            ).execute(planned.plan_operator)
             executions.append(
                 QueryExecution(
                     query=query,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.algebra.operators import IndexScan, ViewScan
 from repro.planning.cost import sort_merge_decision
 from repro.planning.logical import LogicalPlanNode
 from repro.planning.planner import PlanChoice
@@ -55,6 +56,11 @@ class ExplainOperator:
     """For joins: the order-based algorithm choice (``merge``,
     ``sort+merge(left,right)``, ``hash``); ``None`` for non-joins."""
 
+    access_path: Optional[str] = None
+    """For leaf accesses: how the extent is read — ``"index"`` for an
+    :class:`~repro.algebra.operators.IndexScan` probe, ``"scan"`` for a
+    full :class:`~repro.algebra.operators.ViewScan`; ``None`` elsewhere."""
+
     shared: bool = False
     """True for repeated occurrences of a sub-plan shared inside the DAG
     (the entry repeats the shared node's annotations; its children are not
@@ -71,6 +77,8 @@ class ExplainOperator:
         annotations = [f"rows≈{self.estimated_rows:.0f}", f"cost≈{self.cumulative_cost:.0f}"]
         if self.order_decision is not None:
             annotations.append(self.order_decision)
+        if self.access_path is not None:
+            annotations.append(f"access={self.access_path}")
         if self.actual_rows is not None:
             annotations.append(f"actual rows={self.actual_rows}")
         if self.actual_seconds is not None:
@@ -176,6 +184,12 @@ def build_explain_report(
     def visit(node: LogicalPlanNode, depth: int) -> None:
         shared = id(node) in seen
         seen.add(id(node))
+        if isinstance(node.operator, IndexScan):
+            access_path = "index"
+        elif isinstance(node.operator, ViewScan):
+            access_path = "scan"
+        else:
+            access_path = None
         entry = ExplainOperator(
             description=node.operator._describe_self(),
             depth=depth,
@@ -184,6 +198,7 @@ def build_explain_report(
             cumulative_cost=node.cost,
             order_decision=sort_merge_decision(node.operator, statistics),
             shared=shared,
+            access_path=access_path,
         )
         if executor is not None:
             stats = executor.run_stats(node.operator)

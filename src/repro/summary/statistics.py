@@ -25,13 +25,21 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.summary.dataguide import Summary, build_summary
-from repro.xmltree.node import XMLDocument
+from repro.xmltree.node import XMLDocument, XMLNode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.patterns.pattern import TreePattern
+    from repro.patterns.predicates import ValueFormula
     from repro.views.view import MaterializedView
 
 __all__ = ["SummaryStatistics", "Statistics", "summarize"]
+
+# per-column value statistics (observe_view on materialised extents): cap
+# the sampled rows, the equi-width histogram resolution, and the distinct
+# count below which exact per-value frequencies are kept instead
+_COLUMN_SAMPLE_LIMIT = 4096
+_HISTOGRAM_BUCKETS = 16
+_COMMON_VALUE_LIMIT = 64
 
 
 @dataclass(frozen=True)
@@ -129,6 +137,7 @@ class Statistics:
         self._view_rows: dict[str, float] = {}
         self._view_exact: dict[str, bool] = {}
         self._view_sorted: dict[str, Optional[str]] = {}
+        self._view_columns: dict[str, dict[str, dict]] = {}
         for view in views:
             self.observe_view(view)
 
@@ -216,6 +225,7 @@ class Statistics:
         self._view_rows.pop(name, None)
         self._view_exact.pop(name, None)
         self._view_sorted.pop(name, None)
+        getattr(self, "_view_columns", {}).pop(name, None)
 
     def observe_view(self, view: "MaterializedView") -> None:
         """Record a view's extent size (exact when materialised).
@@ -228,6 +238,7 @@ class Statistics:
             self._view_rows[view.name] = float(max(len(view.relation), 1))
             self._view_exact[view.name] = True
             self._view_sorted[view.name] = view.relation.sorted_by
+            self._observe_columns(view)
         else:
             from repro.canonical.model import annotate_paths
 
@@ -235,6 +246,71 @@ class Statistics:
             self._view_rows[view.name] = self.estimate_pattern_rows(pattern)
             self._view_exact[view.name] = False
             self._view_sorted[view.name] = view.dewey_sort_column()
+
+    def _observe_columns(self, view: "MaterializedView") -> None:
+        """Record per-column value statistics of a materialised extent.
+
+        For each column holding orderable atoms (bool/int/float/str after
+        content-reference unwrapping) a bounded sample — every row up to
+        :data:`_COLUMN_SAMPLE_LIMIT`, a fixed stride beyond — yields a
+        distinct count, plus either exact per-value frequencies (distinct ≤
+        :data:`_COMMON_VALUE_LIMIT`) or, for all-numeric columns, an
+        equi-width histogram with :data:`_HISTOGRAM_BUCKETS` buckets.  A
+        column with any non-atom value (structural IDs, nested relations,
+        content subtrees) gets no entry at all — its absence doubles as the
+        cost model's indexability gate.
+        """
+        relation = view.relation
+        rows = relation.rows
+        stride = max(1, len(rows) // _COLUMN_SAMPLE_LIMIT)
+        sample = rows if stride == 1 else rows[::stride]
+        columns: dict[str, dict] = {}
+        for position, column in enumerate(relation.columns):
+            entry = _observe_column_values(row[position] for row in sample)
+            if entry is not None:
+                columns[column.name] = entry
+        self._view_columns[view.name] = columns
+
+    def view_column_stats(self, view: str, column: str) -> Optional[dict]:
+        """The recorded value statistics of one extent column, if any.
+
+        ``None`` means the column was never observed or holds values the
+        order-based estimators (and value indexes) cannot handle.
+        ``getattr`` guards statistics unpickled from older snapshots.
+        """
+        return getattr(self, "_view_columns", {}).get(view, {}).get(column)
+
+    def column_selectivity(
+        self, view: str, column: str, formula: "ValueFormula"
+    ) -> Optional[float]:
+        """Estimated fraction of extent rows satisfying ``formula``.
+
+        Exact (up to sampling) over the common-value table when the column
+        is low-cardinality; a uniform-per-distinct-value estimate for point
+        predicates; fractional bucket overlap over the equi-width histogram
+        for ranges on numeric columns.  ``None`` when no per-column
+        statistics can answer — the caller falls back to its constants.
+        Never returns 0: a predicate the statistics say matches nothing
+        still prices at half a row, so plans stay strictly cost-positive.
+        """
+        entry = self.view_column_stats(view, column)
+        if entry is None or not entry["sampled"]:
+            return None
+        sampled = entry["sampled"]
+        common = entry.get("common")
+        if common is not None:
+            matched = sum(
+                count for value, count in common.items() if formula.evaluate(value)
+            )
+            return matched / sampled if matched else 0.5 / sampled
+        if formula.is_point():
+            return (entry["non_null"] / max(entry["distinct"], 1)) / sampled
+        numeric = entry.get("numeric")
+        if numeric is not None:
+            matched = _histogram_matches(numeric, formula)
+            if matched is not None:
+                return min(max(matched / sampled, 0.5 / sampled), 1.0)
+        return None
 
     def view_rows(self, name: str) -> float:
         """Extent size of the named view (1.0 when entirely unknown)."""
@@ -282,3 +358,102 @@ class Statistics:
             f"<Statistics summary={self.summary_name!r} "
             f"instances={self.total_instances} views={len(self._view_rows)}>"
         )
+
+
+def _observe_column_values(values) -> Optional[dict]:
+    """One column's value statistics, or ``None`` if unobservable.
+
+    The returned entry is a plain dict of numbers and atoms (picklable, so
+    catalog snapshots ship it to workers):
+
+    ``sampled``    rows examined (nulls included)
+    ``non_null``   rows with a real value
+    ``distinct``   distinct non-null values in the sample
+    ``common``     value → count, present when distinct ≤ the common limit
+    ``numeric``    ``{"min", "max", "counts"}`` equi-width histogram,
+                   present when every non-null value is numeric
+    """
+    sampled = 0
+    counts: dict = {}
+    numeric_values: Optional[list[float]] = []
+    for value in values:
+        sampled += 1
+        if isinstance(value, XMLNode):
+            value = value.value
+        if value is None:
+            continue
+        if not isinstance(value, (bool, int, float, str)):
+            return None
+        counts[value] = counts.get(value, 0) + 1
+        if numeric_values is not None:
+            if isinstance(value, (bool, int, float)):
+                numeric_values.append(float(value))
+            else:
+                numeric_values = None
+    entry: dict = {
+        "sampled": sampled,
+        "non_null": sum(counts.values()),
+        "distinct": len(counts),
+    }
+    if len(counts) <= _COMMON_VALUE_LIMIT:
+        entry["common"] = counts
+    elif numeric_values:
+        low, high = min(numeric_values), max(numeric_values)
+        buckets = [0] * _HISTOGRAM_BUCKETS
+        if high > low:
+            width = (high - low) / _HISTOGRAM_BUCKETS
+            for number in numeric_values:
+                position = min(int((number - low) / width), _HISTOGRAM_BUCKETS - 1)
+                buckets[position] += 1
+        else:
+            buckets[0] = len(numeric_values)
+        entry["numeric"] = {"min": low, "max": high, "counts": buckets}
+    return entry
+
+
+def _histogram_matches(numeric: dict, formula: "ValueFormula") -> Optional[float]:
+    """Estimated matching rows from an equi-width histogram.
+
+    Sums, over the formula's normal-form intervals, each bucket's count
+    scaled by its fractional overlap with the interval — the textbook
+    equi-width estimate under a dense-domain assumption (open/closed
+    endpoint flags are ignored; at histogram resolution they are noise).
+    String intervals contribute nothing (every histogrammed value is
+    numeric, and numbers sort before strings in the formula domain).
+    Returns ``None`` if the formula has no intervals a histogram can speak
+    about (pure string predicates over a numeric column estimate at zero —
+    a 0.0 return, not ``None``).
+    """
+    low, high = numeric["min"], numeric["max"]
+    counts = numeric["counts"]
+    total = sum(counts)
+    if high <= low:
+        # degenerate single-value histogram
+        return float(total) if formula.evaluate(low) else 0.0
+    width = (high - low) / len(counts)
+    matched = 0.0
+    for low_key, _low_closed, high_key, high_closed in formula.interval_bounds():
+        if low_key is not None and low_key[0] == 1:
+            # interval lies entirely in string space
+            continue
+        start = low if low_key is None else float(low_key[1])
+        if high_key is None or high_key[0] == 1:
+            stop = high
+            stop_closed = True
+        else:
+            stop = float(high_key[1])
+            stop_closed = high_closed
+        start = max(start, low)
+        stop = min(stop, high)
+        if stop < start or (stop == start and not stop_closed and start != low):
+            continue
+        for position, count in enumerate(counts):
+            bucket_low = low + position * width
+            bucket_high = bucket_low + width
+            overlap = min(stop, bucket_high) - max(start, bucket_low)
+            if overlap > 0:
+                matched += count * min(overlap / width, 1.0)
+            elif overlap == 0 and start == stop and bucket_low <= start <= bucket_high:
+                # a point probe inside this bucket: assume uniform spread
+                matched += count / max(width * len(counts), 1.0)
+    return matched

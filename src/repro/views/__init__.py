@@ -17,6 +17,12 @@ An :class:`ExtentStore` publishes materialised extents to shared memory
 (once per view-set version) so parallel batch workers can *execute* chosen
 plans by attaching an :class:`ExtentManifest` instead of receiving extent
 copies.
+
+Value indexes (:mod:`repro.views.indexes`) are per-column secondary
+structures over materialised extents — a sorted :class:`OrderedIndex` or a
+low-cardinality :class:`BitmapIndex`, chosen by :func:`build_index` — that
+serve the planner's :class:`~repro.algebra.operators.IndexScan` probes and
+travel through the extent store alongside the columnar payload.
 """
 
 from repro.views.view import IdScheme, MaterializedView
@@ -29,16 +35,30 @@ from repro.views.extent_store import (
     ExtentStoreError,
     StaleExtentError,
 )
+from repro.views.indexes import (
+    BITMAP_CARDINALITY_THRESHOLD,
+    INDEX_STATS,
+    BitmapIndex,
+    OrderedIndex,
+    build_index,
+    index_for_source,
+)
 
 __all__ = [
     "AttachedExtents",
+    "BITMAP_CARDINALITY_THRESHOLD",
+    "BitmapIndex",
     "CatalogFormatError",
     "ExtentManifest",
     "ExtentStore",
     "ExtentStoreError",
+    "INDEX_STATS",
     "IdScheme",
     "MaterializedView",
+    "OrderedIndex",
     "StaleExtentError",
     "ViewCatalog",
     "ViewSet",
+    "build_index",
+    "index_for_source",
 ]

@@ -68,6 +68,11 @@ from repro.algebra.columnar import (
 )
 from repro.algebra.tuples import Relation
 from repro.errors import ExtentStoreError
+from repro.views.indexes import (
+    UNINDEXABLE,
+    decode_index_section,
+    encode_index_section,
+)
 from repro.views.store import ViewSet
 
 __all__ = [
@@ -282,6 +287,21 @@ class ExtentStore:
             if not view.is_materialized:
                 continue
             payload = encode_relation(view.relation)
+            # ship value indexes the parent has already built (cached on the
+            # relation's column batch by encode_relation's transpose) as an
+            # XIDX trailer after the column blocks, so workers attach them
+            # instead of rebuilding; indexes built later stay parent-local
+            # until the next version's publish
+            batch = getattr(view.relation, "_column_batch", None)
+            if batch is not None:
+                built = {
+                    position: batch.source(position).index
+                    for position in range(len(batch.columns))
+                    if batch.source(position).index is not None
+                    and batch.source(position).index is not UNINDEXABLE
+                }
+                if built:
+                    payload += encode_index_section(built)
             segment = shared_memory.SharedMemory(create=True, size=len(payload))
             _untrack(segment)  # the store owns the unlink, not the tracker
             segment.buf[: len(payload)] = payload
@@ -328,7 +348,16 @@ class _AttachedView:
         against this extent shares them.
         """
         if self._batch is None:
-            self._batch = self.payload.batch()
+            payload = self.payload
+            batch = payload.batch()
+            if self._nbytes > payload.body_end:
+                # the publisher appended an XIDX value-index trailer; hand
+                # each column source its blob — decoded on first probe, so
+                # a worker that never probes a column never pays its decode
+                tail = bytes(self._segment.buf[payload.body_end : self._nbytes])
+                for position, blob in decode_index_section(tail).items():
+                    batch.source(position).index_blob = blob
+            self._batch = batch
         return self._batch
 
     @property

@@ -1,0 +1,449 @@
+"""Per-column secondary indexes over materialised extents.
+
+Content selections used to decode an extent column and scan it linearly —
+fine for the paper's analytical workloads, wrong for selective point
+lookups.  This module gives every extent column a sub-linear access path:
+
+* :class:`OrderedIndex` — a sorted array of ``(value key, row position)``
+  pairs; equality and range probes are bisections returning the matching
+  row positions.  The B-tree-shaped choice for high-cardinality and range
+  predicates.
+* :class:`BitmapIndex` — one row bitmap per distinct value; a probe
+  evaluates the predicate once per *distinct value* and ORs the matching
+  bitmaps.  Chosen automatically when the observed cardinality stays at or
+  below :data:`BITMAP_CARDINALITY_THRESHOLD` — the classic
+  B-tree-vs-bitmap decision rule.
+
+Both kinds replicate the executor's selection semantics *exactly*: content
+references unwrap to their node value, ``⊥`` rows match only the ``true``
+formula, and probes return **ascending** row positions, so gathering them
+preserves document order (and the ``sorted_by`` annotation) just like a
+filter would.  Columns holding values the probes cannot order (structural
+IDs, nested relations) are *unindexable*: :func:`build_index` returns
+``None`` and the executor falls back to the scan-and-filter kernel —
+correctness never depends on indexability.
+
+Indexes are built lazily, on the first eligible probe of a ``(view,
+column)`` pair, and cached on the column's
+:class:`~repro.algebra.columnar._ColumnSource` — the object whose lifetime
+*is* the extent version's lifetime (re-materialising or re-publishing a
+view creates fresh sources, so stale indexes simply become unreachable).
+:func:`index_for_source` is the one entry point the executor calls; the
+module-level :data:`INDEX_STATS` counters make build-once / attach-once
+observable for tests and benchmarks.
+
+The byte codec (:func:`encode_index` / :func:`decode_index`, magic
+``VIX1``; :func:`encode_index_section` / :func:`decode_index_section`,
+magic ``XIDX``) lets the shared-memory extent store publish indexes the
+parent already built alongside the ``RXC1`` column payload, so parallel
+workers *attach* them instead of rebuilding.
+
+>>> from repro.patterns.predicates import ValueFormula
+>>> index = build_index(["pen", "ink", None, "pen", "pad"])
+>>> type(index).__name__  # 3 distinct values: below the bitmap threshold
+'BitmapIndex'
+>>> index.probe(ValueFormula.eq("pen"))
+[0, 3]
+>>> ordered = build_index(list(range(100)), bitmap_threshold=16)
+>>> type(ordered).__name__
+'OrderedIndex'
+>>> ordered.probe(ValueFormula.parse("v >= 97"))
+[97, 98, 99]
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from typing import Optional, Sequence
+
+from repro.errors import ExtentStoreError
+from repro.patterns.predicates import ValueFormula, value_order_key
+from repro.xmltree.node import XMLNode
+
+__all__ = [
+    "BITMAP_CARDINALITY_THRESHOLD",
+    "BitmapIndex",
+    "INDEX_STATS",
+    "OrderedIndex",
+    "UNINDEXABLE",
+    "build_index",
+    "decode_index",
+    "decode_index_section",
+    "encode_index",
+    "encode_index_section",
+    "index_for_source",
+]
+
+INDEX_MAGIC = b"VIX1"
+SECTION_MAGIC = b"XIDX"
+
+BITMAP_CARDINALITY_THRESHOLD = 64
+"""Observed distinct-value count at or below which :func:`build_index`
+prefers a :class:`BitmapIndex` over an :class:`OrderedIndex`."""
+
+UNINDEXABLE = object()
+"""Cached on a column source whose values refuse indexing (non-atom cell
+types), so the build is attempted at most once per source."""
+
+
+class _IndexStats:
+    """Process-wide index lifecycle counters (test / bench observables)."""
+
+    __slots__ = ("builds", "attaches", "probes")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.builds = 0
+        """Indexes constructed from column values in this process."""
+        self.attaches = 0
+        """Indexes decoded from a published blob instead of rebuilt."""
+        self.probes = 0
+        """Predicate probes served by any index."""
+
+    def info(self) -> dict:
+        return {
+            "builds": self.builds,
+            "attaches": self.attaches,
+            "probes": self.probes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IndexStats {self.info()}>"
+
+
+INDEX_STATS = _IndexStats()
+
+
+# --------------------------------------------------------------------------- #
+# index kinds
+# --------------------------------------------------------------------------- #
+class OrderedIndex:
+    """Sorted-array index: bisect range/point probes over value keys.
+
+    ``keys`` holds the total-order key of every indexed (non-``⊥``) value,
+    ascending; ``positions`` the parallel row positions.  Probes bisect per
+    predicate interval and return the union of the matched positions in
+    ascending row order.
+    """
+
+    __slots__ = ("keys", "positions", "row_count")
+    kind = "ordered"
+
+    def __init__(self, keys: list, positions: list[int], row_count: int):
+        self.keys = keys
+        self.positions = positions
+        self.row_count = row_count
+
+    @property
+    def cardinality(self) -> int:
+        """Distinct indexed values (adjacent equal keys collapse)."""
+        distinct = 0
+        previous = None
+        for key in self.keys:
+            if distinct == 0 or key != previous:
+                distinct += 1
+                previous = key
+        return distinct
+
+    def probe(self, formula: ValueFormula) -> list[int]:
+        """Ascending row positions whose value satisfies ``formula``.
+
+        Row-identical to filtering: ``⊥`` rows (never indexed) match only
+        the ``true`` formula, which short-circuits to every row.
+        """
+        INDEX_STATS.probes += 1
+        if formula.is_true():
+            return list(range(self.row_count))
+        matched: list[int] = []
+        for low_key, low_closed, high_key, high_closed in formula.interval_bounds():
+            if low_key is None:
+                start = 0
+            elif low_closed:
+                start = bisect_left(self.keys, low_key)
+            else:
+                start = bisect_right(self.keys, low_key)
+            if high_key is None:
+                stop = len(self.keys)
+            elif high_closed:
+                stop = bisect_right(self.keys, high_key)
+            else:
+                stop = bisect_left(self.keys, high_key)
+            if stop > start:
+                matched.extend(self.positions[start:stop])
+        matched.sort()
+        return matched
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OrderedIndex entries={len(self.keys)} rows={self.row_count}>"
+
+
+class BitmapIndex:
+    """Value-to-row-bitmap index for low-cardinality columns.
+
+    ``bitmaps`` maps each distinct indexed value to an arbitrary-precision
+    int whose set bits are the value's row positions.  A probe evaluates
+    the formula once per distinct value (cardinality, not rows) and ORs
+    the matching bitmaps.
+    """
+
+    __slots__ = ("bitmaps", "row_count")
+    kind = "bitmap"
+
+    def __init__(self, bitmaps: dict, row_count: int):
+        self.bitmaps = bitmaps
+        self.row_count = row_count
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.bitmaps)
+
+    def probe(self, formula: ValueFormula) -> list[int]:
+        """Ascending row positions whose value satisfies ``formula``."""
+        INDEX_STATS.probes += 1
+        if formula.is_true():
+            return list(range(self.row_count))
+        combined = 0
+        for value, bitmap in self.bitmaps.items():
+            if formula.evaluate(value):
+                combined |= bitmap
+        matched: list[int] = []
+        while combined:
+            lowest = combined & -combined
+            matched.append(lowest.bit_length() - 1)
+            combined ^= lowest
+        return matched
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BitmapIndex cardinality={len(self.bitmaps)} rows={self.row_count}>"
+
+
+# --------------------------------------------------------------------------- #
+# construction
+# --------------------------------------------------------------------------- #
+def build_index(
+    values: Sequence, bitmap_threshold: int = BITMAP_CARDINALITY_THRESHOLD
+) -> Optional[OrderedIndex | BitmapIndex]:
+    """Build the best index for one column's values, or ``None``.
+
+    Content references unwrap to their node value (exactly what the
+    selection kernel compares); ``⊥`` rows are skipped (they satisfy only
+    the ``true`` formula, which every probe special-cases).  Any value
+    outside the orderable atom types — bool, int, float, str — makes the
+    whole column unindexable: the caller keeps the scan-and-filter path.
+
+    The kind decision is the B-tree-vs-bitmap rule: at or below
+    ``bitmap_threshold`` distinct values a :class:`BitmapIndex` wins
+    (probes cost O(cardinality), storage is dense); above it the
+    :class:`OrderedIndex` bisection wins.
+    """
+    bitmaps: dict = {}
+    row_count = len(values)
+    for position, value in enumerate(values):
+        if isinstance(value, XMLNode):
+            value = value.value
+        if value is None:
+            continue
+        if not isinstance(value, (bool, int, float, str)):
+            return None
+        bitmaps[value] = bitmaps.get(value, 0) | (1 << position)
+    if len(bitmaps) <= bitmap_threshold:
+        return BitmapIndex(bitmaps, row_count)
+    entries: list[tuple] = []
+    for value, bitmap in bitmaps.items():
+        key = value_order_key(value)
+        while bitmap:
+            lowest = bitmap & -bitmap
+            entries.append((key, lowest.bit_length() - 1))
+            bitmap ^= lowest
+    entries.sort()
+    return OrderedIndex(
+        [key for key, _ in entries], [position for _, position in entries], row_count
+    )
+
+
+def index_for_source(source) -> Optional[OrderedIndex | BitmapIndex]:
+    """The (lazily built or attached) index cached on one column source.
+
+    Three outcomes, all cached on the source so they happen at most once:
+
+    * a published blob is present (``source.index_blob``, set by the
+      extent store on attach) — decode it (:data:`INDEX_STATS` counts an
+      *attach*, never a build);
+    * no blob — build from the column's values (counts a *build*);
+    * the values refuse indexing — cache :data:`UNINDEXABLE` and return
+      ``None`` forever after (the caller scans).
+    """
+    index = source.index
+    if index is None:
+        blob = source.index_blob
+        if blob is not None:
+            index = decode_index(blob)
+            source.index_blob = None
+            INDEX_STATS.attaches += 1
+        else:
+            index = build_index(source.values())
+            if index is None:
+                index = UNINDEXABLE
+            else:
+                INDEX_STATS.builds += 1
+        source.index = index
+    return None if index is UNINDEXABLE else index
+
+
+# --------------------------------------------------------------------------- #
+# byte codec (shared-memory publication)
+# --------------------------------------------------------------------------- #
+_KIND_ORDERED = 0
+_KIND_BITMAP = 1
+
+_V_INT = 1
+_V_BIGINT = 2
+_V_FLOAT = 3
+_V_STR = 4
+_V_BOOL = 5
+
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+
+def _write_scalar(buffer: bytearray, value) -> None:
+    if isinstance(value, bool):
+        buffer.append(_V_BOOL)
+        buffer.append(int(value))
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            buffer.append(_V_INT)
+            buffer += struct.pack("<q", value)
+        else:
+            raw = str(value).encode("ascii")
+            buffer.append(_V_BIGINT)
+            buffer += struct.pack("<I", len(raw))
+            buffer += raw
+    elif isinstance(value, float):
+        buffer.append(_V_FLOAT)
+        buffer += struct.pack("<d", value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        buffer.append(_V_STR)
+        buffer += struct.pack("<I", len(raw))
+        buffer += raw
+    else:  # pragma: no cover - build_index admits only the atoms above
+        raise ExtentStoreError(f"cannot encode index value {value!r}")
+
+
+def _read_scalar(view: memoryview, offset: int) -> tuple[object, int]:
+    tag = view[offset]
+    offset += 1
+    if tag == _V_BOOL:
+        return bool(view[offset]), offset + 1
+    if tag == _V_INT:
+        (value,) = struct.unpack_from("<q", view, offset)
+        return value, offset + 8
+    if tag == _V_BIGINT:
+        (length,) = struct.unpack_from("<I", view, offset)
+        offset += 4
+        return int(bytes(view[offset : offset + length])), offset + length
+    if tag == _V_FLOAT:
+        (value,) = struct.unpack_from("<d", view, offset)
+        return value, offset + 8
+    if tag == _V_STR:
+        (length,) = struct.unpack_from("<I", view, offset)
+        offset += 4
+        return bytes(view[offset : offset + length]).decode("utf-8"), offset + length
+    raise ExtentStoreError(f"corrupt value index: unknown scalar tag {tag}")
+
+
+def encode_index(index: OrderedIndex | BitmapIndex) -> bytes:
+    """Serialise one index into the self-describing ``VIX1`` layout."""
+    buffer = bytearray(INDEX_MAGIC)
+    if isinstance(index, BitmapIndex):
+        buffer.append(_KIND_BITMAP)
+        buffer += struct.pack("<I", index.row_count)
+        buffer += struct.pack("<I", len(index.bitmaps))
+        for value, bitmap in index.bitmaps.items():
+            _write_scalar(buffer, value)
+            raw = bitmap.to_bytes((bitmap.bit_length() + 7) // 8 or 1, "little")
+            buffer += struct.pack("<I", len(raw))
+            buffer += raw
+    elif isinstance(index, OrderedIndex):
+        buffer.append(_KIND_ORDERED)
+        buffer += struct.pack("<I", index.row_count)
+        buffer += struct.pack("<I", len(index.keys))
+        for key, position in zip(index.keys, index.positions):
+            # keys are (kind, value) pairs; the value alone round-trips the
+            # key exactly (value_order_key is deterministic per value)
+            _write_scalar(buffer, key[1] if key[0] == 0 else str(key[1]))
+            buffer += struct.pack("<I", position)
+    else:
+        raise ExtentStoreError(f"cannot encode {type(index).__name__} as an index")
+    return bytes(buffer)
+
+
+def decode_index(payload) -> OrderedIndex | BitmapIndex:
+    """Inverse of :func:`encode_index`."""
+    view = memoryview(payload)
+    if bytes(view[:4]) != INDEX_MAGIC:
+        raise ExtentStoreError("not a value-index payload (bad magic)")
+    kind = view[4]
+    (row_count,) = struct.unpack_from("<I", view, 5)
+    (count,) = struct.unpack_from("<I", view, 9)
+    offset = 13
+    if kind == _KIND_BITMAP:
+        bitmaps: dict = {}
+        for _ in range(count):
+            value, offset = _read_scalar(view, offset)
+            (length,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            bitmaps[value] = int.from_bytes(view[offset : offset + length], "little")
+            offset += length
+        return BitmapIndex(bitmaps, row_count)
+    if kind == _KIND_ORDERED:
+        keys: list = []
+        positions: list[int] = []
+        for _ in range(count):
+            value, offset = _read_scalar(view, offset)
+            keys.append(value_order_key(value))
+            (position,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            positions.append(position)
+        return OrderedIndex(keys, positions, row_count)
+    raise ExtentStoreError(f"corrupt value index: unknown kind {kind}")
+
+
+def encode_index_section(indexes: dict[int, OrderedIndex | BitmapIndex]) -> bytes:
+    """Serialise a per-column index map (the extent payload's ``XIDX`` tail).
+
+    Keys are column *positions* in the extent's schema; the section is
+    appended verbatim after the ``RXC1`` column blocks (whose parser stops
+    at the end of its block directory, so the tail is invisible to it).
+    """
+    buffer = bytearray(SECTION_MAGIC)
+    buffer += struct.pack("<I", len(indexes))
+    for position in sorted(indexes):
+        blob = encode_index(indexes[position])
+        buffer += struct.pack("<II", position, len(blob))
+        buffer += blob
+    return bytes(buffer)
+
+
+def decode_index_section(payload) -> dict[int, bytes]:
+    """Parse an ``XIDX`` tail into per-column-position index *blobs*.
+
+    Blobs stay encoded — the attach path hands them to column sources as
+    ``index_blob`` and :func:`index_for_source` decodes on first probe, so
+    a worker that never probes a column never pays its decode.
+    """
+    view = memoryview(payload)
+    if bytes(view[:4]) != SECTION_MAGIC:
+        raise ExtentStoreError("not an extent index section (bad magic)")
+    (count,) = struct.unpack_from("<I", view, 4)
+    offset = 8
+    blobs: dict[int, bytes] = {}
+    for _ in range(count):
+        position, length = struct.unpack_from("<II", view, offset)
+        offset += 8
+        blobs[position] = bytes(view[offset : offset + length])
+        offset += length
+    return blobs

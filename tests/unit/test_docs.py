@@ -45,6 +45,7 @@ EXPECTED_DOCS = [
     "containment.md",
     "benchmarks.md",
     "execution.md",
+    "indexes.md",
 ]
 
 
@@ -82,5 +83,5 @@ def test_readme_links_into_the_docs_tree():
     readme = (ROOT / "README.md").read_text(encoding="utf-8")
     for target in ["docs/api.md", "docs/architecture.md", "docs/cost-model.md",
                    "docs/containment.md", "docs/benchmarks.md",
-                   "docs/execution.md"]:
+                   "docs/execution.md", "docs/indexes.md"]:
         assert target in readme, f"README does not link {target}"

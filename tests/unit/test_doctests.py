@@ -28,6 +28,7 @@ import repro.rewriting.rewriter
 import repro.session.database
 import repro.views.catalog
 import repro.views.extent_store
+import repro.views.indexes
 
 DOCTEST_MODULES = [
     repro.algebra.columnar,
@@ -38,6 +39,7 @@ DOCTEST_MODULES = [
     repro.session.database,
     repro.views.catalog,
     repro.views.extent_store,
+    repro.views.indexes,
 ]
 """The curated doctest list — the CI docs job derives its
 ``--doctest-modules`` arguments from it through ``tools/doctest_modules.py``."""

@@ -98,6 +98,50 @@ def test_prepared_queries_remain_independent(database):
     assert prepared.run().same_contents(database.query("site(//item[ID,V])"))
 
 
+def test_query_many_sequential_consults_the_cache(database):
+    workload = ["site(//item[ID,V])", "site(//name[ID,V])", "site(//item[ID,V])"]
+    first = database.query_many(workload)
+    info = database.plan_cache.info()
+    # two distinct fingerprints: the duplicate is a lookup miss only once
+    assert info["misses"] == 3 and info["hits"] == 0 and info["size"] == 2
+
+    second = database.query_many(workload)
+    info = database.plan_cache.info()
+    assert info["hits"] == 3 and info["misses"] == 3, (
+        "a repeated workload must be served entirely from the plan cache"
+    )
+    for left, right in zip(first, second):
+        assert left.same_contents(right)
+
+
+def test_query_many_cache_interoperates_with_query(database):
+    database.query("site(//item[ID,V])")
+    database.query_many(["site(//item[ID,V])", "site(//name[ID,V])"])
+    info = database.plan_cache.info()
+    assert info["hits"] == 1, "query_many must reuse plans cached by query()"
+    assert info["misses"] == 2
+    database.query("site(//name[ID,V])")
+    assert database.plan_cache.hits == 2, (
+        "query() must reuse plans cached by query_many()"
+    )
+
+
+def test_query_many_duplicate_misses_plan_once(database, monkeypatch):
+    calls = []
+    original = database.rewriter.rewrite_many
+
+    def counting_rewrite_many(patterns, *args, **kwargs):
+        calls.append(len(patterns))
+        return original(patterns, *args, **kwargs)
+
+    monkeypatch.setattr(database.rewriter, "rewrite_many", counting_rewrite_many)
+    database.query_many(["site(//item[ID,V])"] * 3)
+    assert calls == [1], (
+        "three copies of one query share one fingerprint: the rewriting "
+        "search must see it exactly once"
+    )
+
+
 def test_query_matches_query_pattern_object(database):
     pattern = parse_pattern("site(//item[ID,V])", name="obj")
     assert database.query(pattern).same_contents(
