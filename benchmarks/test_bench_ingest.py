@@ -1,0 +1,127 @@
+"""Ingest-update benchmark: delta maintenance vs. full rematerialization.
+
+The live-document tentpole claims incremental maintenance makes extents
+cheap to keep correct: a single-subtree change splices the affected Dewey
+region instead of re-evaluating the view over the whole document.  This
+benchmark measures exactly that claim on the XMark workload and records
+``bench-results/ingest_update.json`` (uploaded by the CI ``bench-smoke``
+job; its ``*speedup`` field is regression-gated by
+``tools/compare_bench.py``):
+
+* **delta path** — ``MaterializedView.apply_delta`` after one subtree
+  insert and one subtree delete (the splice must run: the status is
+  asserted to be ``"delta"``);
+* **rebuild path** — ``MaterializedView.materialize`` over the mutated
+  document, the oracle every delta is row-identical to.
+
+Each timed cycle performs the same document mutations, so the two paths
+differ only in how the extent catches up.  The hard assertion is the
+acceptance bar: the delta path at least **5×** faster than full
+rematerialization for single-subtree changes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import MaterializedView, XMLNode, build_summary, parse_pattern
+from repro.algebra.tuples import _hashable
+from repro.views.delta import SubtreeChange
+from repro.workloads.xmark import generate_xmark_document
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+SCALE = 20.0
+"""XMark scale factor — several thousand nodes, so rematerializing visibly
+pays the whole-document evaluation the delta path avoids."""
+
+VIEW_PATTERN = "site(//item[ID](/name[V]))"
+"""A delta-eligible chain over the most populous XMark element."""
+
+REPS = 15
+"""Timed insert+delete cycles per path; the medians go into the artifact."""
+
+MIN_DELTA_SPEEDUP = 5.0
+"""The acceptance bar: single-subtree deltas ≥ 5× over rematerializing."""
+
+
+def _median_seconds(run, reps=REPS):
+    timings = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    return timings[len(timings) // 2]
+
+
+@pytest.mark.benchmark(group="ingest-update")
+def test_delta_maintenance_beats_rematerialization(bench_writer):
+    document = generate_xmark_document(scale=SCALE, seed=548, name="xmark-ingest")
+    view = MaterializedView(
+        parse_pattern(VIEW_PATTERN, name="items"), document, name="items"
+    )
+    parent = document.nodes_on_path("/site/regions/asia")[0]
+    serial = 0
+
+    def subtree():
+        nonlocal serial
+        serial += 1
+        return XMLNode("item", None, [XMLNode("name", f"bench-{serial}")])
+
+    def delta_cycle():
+        node = document.insert_subtree(parent, subtree())
+        insert = SubtreeChange("insert", node.dewey, parent.dewey)
+        assert view.apply_delta(document, insert) == "delta"
+        detached = document.delete_subtree(node)
+        delete = SubtreeChange("delete", detached.dewey, parent.dewey)
+        assert view.apply_delta(document, delete) == "delta"
+
+    def rebuild_cycle():
+        node = document.insert_subtree(parent, subtree())
+        view.materialize(document)
+        document.delete_subtree(node)
+        view.materialize(document)
+
+    # correctness first: after a delta-maintained insert the extent must be
+    # row-identical to a from-scratch materialization of the same document
+    node = document.insert_subtree(parent, subtree())
+    assert (
+        view.apply_delta(document, SubtreeChange("insert", node.dewey, parent.dewey))
+        == "delta"
+    )
+    oracle = MaterializedView(
+        parse_pattern(VIEW_PATTERN, name="oracle"), document, name="oracle"
+    )
+    assert [_hashable(r) for r in view.relation.rows] == [
+        _hashable(r) for r in oracle.relation.rows
+    ], "delta maintenance must be row-identical to rematerialization"
+    document.delete_subtree(node)
+    view.apply_delta(document, SubtreeChange("delete", node.dewey, parent.dewey))
+
+    delta_seconds = _median_seconds(delta_cycle)
+    rebuild_seconds = _median_seconds(rebuild_cycle)
+    speedup = rebuild_seconds / delta_seconds if delta_seconds else float("inf")
+
+    assert speedup >= MIN_DELTA_SPEEDUP, (
+        f"apply_delta ({delta_seconds * 1000:.2f}ms per insert+delete cycle) "
+        f"must be at least {MIN_DELTA_SPEEDUP}x faster than rematerializing "
+        f"({rebuild_seconds * 1000:.2f}ms); got {speedup:.1f}x"
+    )
+
+    point = {
+        "bench": "ingest_update",
+        "scale": SCALE,
+        "document_nodes": document.size,
+        "extent_rows": len(view.relation),
+        "reps": REPS,
+        "delta_seconds": round(delta_seconds, 6),
+        "rebuild_seconds": round(rebuild_seconds, 6),
+        "delta_speedup": round(speedup, 2),
+        "summary_nodes": sum(1 for _ in build_summary(document).iter_nodes()),
+    }
+    print(f"\nBENCH_JSON: {json.dumps(point)}")
+    bench_writer("ingest_update.json", point)

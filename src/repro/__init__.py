@@ -38,7 +38,10 @@ remain importable for code that needs just one of them.
 
 from repro.errors import (
     AlgebraError,
+    ChangeLogCorruptError,
+    ChangeLogError,
     ContainmentError,
+    IngestError,
     PatternError,
     PatternParseError,
     PredicateError,
@@ -48,6 +51,13 @@ from repro.errors import (
     WorkloadError,
     XMLError,
     XMLParseError,
+)
+from repro.ingest import (
+    ChangeLog,
+    LogRecord,
+    decode_subtree,
+    encode_subtree,
+    iter_stream_subtrees,
 )
 from repro.xmltree import (
     DeweyID,
@@ -65,6 +75,7 @@ from repro.xmltree import (
 from repro.summary import (
     Statistics,
     Summary,
+    SummaryDelta,
     SummaryStatistics,
     build_summary,
     summarize,
@@ -90,12 +101,12 @@ from repro.containment import (
     is_contained_in_union,
 )
 from repro.algebra import Relation
-from repro.views import MaterializedView, ViewCatalog, ViewSet
+from repro.views import MaterializedView, SubtreeChange, ViewCatalog, ViewSet
 from repro.rewriting import BatchEngine, Rewriter, Rewriting
 from repro.planning import CostModel, LogicalPlan, PlanChoice, PlannedRewriting, Planner
 from repro.session import Database, ExplainReport, PreparedQuery
 
-__version__ = "1.4.0"
+__version__ = "1.8.0"
 
 __all__ = [
     # errors
@@ -110,6 +121,16 @@ __all__ = [
     "AlgebraError",
     "RewritingError",
     "WorkloadError",
+    "IngestError",
+    "ChangeLogError",
+    "ChangeLogCorruptError",
+    # ingestion / live documents
+    "ChangeLog",
+    "LogRecord",
+    "encode_subtree",
+    "decode_subtree",
+    "iter_stream_subtrees",
+    "SubtreeChange",
     # xml substrate
     "DeweyID",
     "XMLDocument",
@@ -124,6 +145,7 @@ __all__ = [
     "generate_random_document",
     # summaries
     "Summary",
+    "SummaryDelta",
     "SummaryStatistics",
     "build_summary",
     "summarize",

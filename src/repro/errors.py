@@ -83,3 +83,21 @@ class SessionError(ReproError):
     """Problems in the session layer (:class:`repro.Database` lifecycle):
     constructing a database without a document or summary, view DDL against
     a closed resource, or loading a snapshot that is not a database."""
+
+
+class IngestError(ReproError):
+    """Problems in the ingestion layer (streaming parse, live mutations)."""
+
+
+class ChangeLogError(IngestError):
+    """Problems reading or writing the durable change log."""
+
+
+class ChangeLogCorruptError(ChangeLogError):
+    """Raised when replay meets a record that fails its integrity checks.
+
+    A *torn tail* — the final record cut short by a crash mid-append — is
+    not corruption: replay stops cleanly before it.  Anything else (a CRC
+    mismatch, an LSN gap, malformed JSON before the last line) means the
+    log cannot be trusted and recovery must fail loudly rather than
+    replay to a silently wrong state."""

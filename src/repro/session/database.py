@@ -47,7 +47,9 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from repro.algebra.execution import EXECUTOR_STRATEGIES, PlanExecutor
 from repro.algebra.tuples import Relation
 from repro.canonical.hashing import pattern_key
-from repro.errors import RewritingError, SessionError
+from repro.errors import ChangeLogError, RewritingError, SessionError
+from repro.ingest.changelog import ChangeLog, decode_subtree, encode_subtree
+from repro.ingest.streaming import iter_stream_subtrees
 from repro.patterns.parser import parse_pattern
 from repro.patterns.pattern import TreePattern
 from repro.planning.planner import PlanChoice, PlannedRewriting, Planner
@@ -55,9 +57,11 @@ from repro.rewriting.rewriter import Rewriter
 from repro.session.explain import ExplainReport, build_explain_report
 from repro.summary.dataguide import Summary, build_summary
 from repro.views.catalog import CATALOG_FORMAT_VERSION, ViewCatalog
+from repro.views.delta import SubtreeChange
 from repro.views.store import ViewSet
 from repro.views.view import MaterializedView
-from repro.xmltree.node import XMLDocument
+from repro.xmltree.ids import DeweyID
+from repro.xmltree.node import XMLDocument, XMLNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rewriting.algorithm import RewritingConfig
@@ -65,7 +69,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rewriting.rewriter import RewriteOutcome
     from repro.views.extent_store import ExtentStore
 
-__all__ = ["Database", "PlanCache", "PreparedQuery", "DATABASE_FORMAT_VERSION"]
+__all__ = [
+    "Database",
+    "MAINTENANCE_MODES",
+    "PlanCache",
+    "PreparedQuery",
+    "DATABASE_FORMAT_VERSION",
+]
+
+MAINTENANCE_MODES = ("incremental", "rebuild")
+"""How a live-document mutation propagates to derived state.
+``"incremental"`` (the default) maintains the summary's counters and every
+eligible extent in place; ``"rebuild"`` recomputes summary and extents
+from scratch after every mutation — the slow oracle the equivalence
+harness compares against."""
 
 DATABASE_FORMAT_VERSION = "database/1"
 """On-disk format tag written by :meth:`Database.save` (distinct from the
@@ -290,6 +307,7 @@ class Database:
         summary: Optional[Summary] = None,
         use_catalog: bool = True,
         executor: str = "vectorized",
+        maintenance: str = "incremental",
     ):
         if document is None and summary is None:
             raise SessionError(
@@ -301,6 +319,11 @@ class Database:
                 f"unknown executor strategy {executor!r} "
                 f"(expected one of {EXECUTOR_STRATEGIES})"
             )
+        if maintenance not in MAINTENANCE_MODES:
+            raise SessionError(
+                f"unknown maintenance mode {maintenance!r} "
+                f"(expected one of {MAINTENANCE_MODES})"
+            )
         self._document = document
         self._summary = summary if summary is not None else build_summary(document)
         self._rewriter = Rewriter(
@@ -310,6 +333,21 @@ class Database:
         self._planner = Planner(self._rewriter)
         self._plan_cache = PlanCache()
         self._view_serial = 0
+        self.maintenance = maintenance
+        self._change_log: Optional[ChangeLog] = None
+        self._replaying = False
+        self.maintenance_stats = {
+            "delta_applied": 0,
+            "rematerialized": 0,
+            "summary_incremental": 0,
+            "summary_rebuilt": 0,
+        }
+        """Per-session counters of which maintenance path each mutation
+        took — the live-document observables: ``delta_applied`` /
+        ``rematerialized`` count per-view extent maintenance,
+        ``summary_incremental`` / ``summary_rebuilt`` per-mutation summary
+        maintenance.  In ``maintenance="incremental"`` mode the rebuild
+        counters staying at zero *is* the contract under test."""
 
     # ------------------------------------------------------------------ #
     # construction variants
@@ -348,6 +386,15 @@ class Database:
         database._planner = Planner(rewriter)
         database._plan_cache = PlanCache()
         database._view_serial = 0
+        database.maintenance = "incremental"
+        database._change_log = None
+        database._replaying = False
+        database.maintenance_stats = {
+            "delta_applied": 0,
+            "rematerialized": 0,
+            "summary_incremental": 0,
+            "summary_rebuilt": 0,
+        }
         return database
 
     # ------------------------------------------------------------------ #
@@ -514,6 +561,14 @@ class Database:
         )
         self.views.add(view)
         self._rewriter.notify_view_added(view)
+        self._log(
+            "create_view",
+            {
+                "name": view.name,
+                "pattern": pattern.to_text(),
+                "materialize": bool(materialize),
+            },
+        )
         return view
 
     def drop_view(self, name: str) -> None:
@@ -522,6 +577,272 @@ class Database:
             raise KeyError(f"unknown view {name!r}")
         self.views.remove(name)
         self._rewriter.notify_view_removed(name)
+        self._log("drop_view", {"name": name})
+
+    # ------------------------------------------------------------------ #
+    # live-document mutations
+    # ------------------------------------------------------------------ #
+    def _require_document(self) -> XMLDocument:
+        if self._document is None:
+            raise SessionError("a summary-only session has no document to mutate")
+        return self._document
+
+    def _resolve_node(self, node: XMLNode | DeweyID | str) -> XMLNode:
+        document = self._require_document()
+        if isinstance(node, str):
+            node = DeweyID.from_string(node)
+        if isinstance(node, DeweyID):
+            return document.node_by_id(node)
+        return node
+
+    def insert_subtree(
+        self, parent: XMLNode | DeweyID | str, subtree: XMLNode
+    ) -> XMLNode:
+        """Insert a detached subtree as ``parent``'s last child, live.
+
+        ``parent`` may be the node itself, its :class:`DeweyID`, or the
+        ID's dotted text.  The new subtree gets never-reused Dewey IDs
+        (ORDPATH-style gaps are legal; nothing is renumbered), the change
+        is appended to the attached change log (if any), and every piece
+        of derived state is maintained: summary counters, materialised
+        extents (by ordered Dewey splice where eligible — see
+        :mod:`repro.views.delta`), catalog statistics, and the version
+        counter every cache and pool keys on.  Returns the attached
+        subtree root.
+        """
+        document = self._require_document()
+        parent_node = self._resolve_node(parent)
+        node = document.insert_subtree(parent_node, subtree)
+        self._log(
+            "insert",
+            {
+                "parent": str(parent_node.dewey),
+                "subtree": encode_subtree(node),
+                "dewey": str(node.dewey),
+            },
+        )
+        self._after_mutation("insert", parent_node, node)
+        return node
+
+    def delete_subtree(self, node: XMLNode | DeweyID | str) -> XMLNode:
+        """Delete a subtree (never the root), live; returns it detached.
+
+        Same maintenance contract as :meth:`insert_subtree`; the detached
+        subtree keeps its Dewey IDs, but they are retired — no later
+        insert ever reuses them.
+        """
+        document = self._require_document()
+        target = self._resolve_node(node)
+        parent_node = target.parent
+        detached = document.delete_subtree(target)
+        self._log("delete", {"dewey": str(detached.dewey)})
+        self._after_mutation("delete", parent_node, detached)
+        return detached
+
+    def ingest_stream(
+        self, chunks: Iterable[str], parent: XMLNode | DeweyID | str
+    ) -> list[XMLNode]:
+        """Stream XML fragments in as children of ``parent``, live.
+
+        ``chunks`` is any iterable of text pieces — element boundaries may
+        fall anywhere (see :func:`repro.ingest.iter_stream_subtrees`).
+        Each completed top-level element is applied as one
+        :meth:`insert_subtree` the moment its close tag arrives: logged,
+        summary-maintained, extents delta-patched.  Returns the attached
+        subtree roots, in stream order.
+        """
+        parent_node = self._resolve_node(parent)
+        return [
+            self.insert_subtree(parent_node, subtree)
+            for subtree in iter_stream_subtrees(chunks)
+        ]
+
+    def _after_mutation(
+        self, kind: str, parent: XMLNode, subtree: XMLNode
+    ) -> None:
+        """Propagate one applied subtree change through every derived layer."""
+        document = self._require_document()
+        stats = self.maintenance_stats
+        if self.maintenance == "incremental" and getattr(
+            self._summary, "supports_incremental_maintenance", False
+        ):
+            if kind == "insert":
+                delta = self._summary.observe_insert(parent, subtree)
+            else:
+                delta = self._summary.observe_delete(parent, subtree)
+            stats["summary_incremental"] += 1
+        else:
+            # rebuild-oracle mode, or a summary predating counter retention
+            self._summary = build_summary(document)
+            self._rewriter.summary = self._summary
+            delta = None
+            stats["summary_rebuilt"] += 1
+        changed_views = []
+        change = SubtreeChange(kind, subtree.dewey, parent.dewey)
+        for view in self.views:
+            if not view.is_materialized:
+                continue
+            if self.maintenance == "rebuild":
+                view.materialize(document)
+                status = "rematerialized"
+            else:
+                status = view.apply_delta(document, change)
+            stats[
+                "delta_applied" if status == "delta" else "rematerialized"
+            ] += 1
+            changed_views.append(view)
+        # one version bump invalidates every consumer (plan cache, prepared
+        # queries, batch snapshot + pool, extent store guard) ...
+        self.views.touch()
+        # ... and then the catalog refreshes against the *new* version:
+        # statistics re-synced in place when the summary's shape and flags
+        # survived, dropped for rebuild otherwise
+        self._rewriter.notify_document_changed(delta, changed_views)
+
+    # ------------------------------------------------------------------ #
+    # durable change log
+    # ------------------------------------------------------------------ #
+    def _log(self, type_: str, payload: dict) -> None:
+        if self._change_log is not None and not self._replaying:
+            self._change_log.append(type_, payload)
+
+    @property
+    def change_log(self) -> Optional[ChangeLog]:
+        """The attached durable change log (None when not attached)."""
+        return self._change_log
+
+    def attach_log(self, path: str | Path) -> ChangeLog:
+        """Attach a durable change log; mutations and DDL append to it.
+
+        The log must be empty (a fresh file, or one whose torn tail was
+        the only content): its first record becomes a full ``load`` of the
+        current document, and every later :meth:`insert_subtree` /
+        :meth:`delete_subtree` / :meth:`create_view` / :meth:`drop_view` /
+        :meth:`checkpoint` appends one record.  To *resume* from a log
+        that already has records, use :meth:`recover` — attaching it here
+        would fork its history.
+        """
+        document = self._require_document()
+        log = ChangeLog(path)
+        if log.last_lsn != 0:
+            log.close()
+            raise SessionError(
+                f"change log {path} already holds records; use "
+                f"Database.recover(path) to resume from it"
+            )
+        self._change_log = log
+        log.append(
+            "load",
+            {"name": document.name, "root": encode_subtree(document.root)},
+        )
+        return log
+
+    def checkpoint(self, path: str | Path) -> None:
+        """Persist the session and fence the log at the current LSN.
+
+        Recovery (:meth:`recover`) starts from the newest checkpoint whose
+        snapshot file still exists and replays only the log tail behind
+        it; a missing snapshot falls back to the previous checkpoint, or
+        to full replay from the ``load`` record.
+        """
+        if self._change_log is None:
+            raise SessionError("no change log attached; nothing to checkpoint")
+        self.save(path)
+        self._change_log.append("checkpoint", {"path": str(Path(path))})
+
+    @classmethod
+    def recover(
+        cls, log_path: str | Path, maintenance: str = "incremental"
+    ) -> "Database":
+        """Rebuild a live session from its durable change log.
+
+        Replays the newest usable checkpoint plus the log tail behind it
+        (or the whole log from its ``load`` record).  Replay is *exact*:
+        inserts re-derive the very Dewey IDs the original session assigned
+        (the log records them, and a mismatch is a typed
+        :class:`~repro.errors.ChangeLogError`, never a silently different
+        document).  A corrupted log raises
+        :class:`~repro.errors.ChangeLogCorruptError` from validation; a
+        torn tail (crash mid-append) replays cleanly to the last intact
+        record.  The recovered session has the log re-attached, so it
+        keeps appending where the lost one stopped.
+        """
+        records = ChangeLog.read(log_path)
+        if not records:
+            raise ChangeLogError(f"change log {log_path} holds no intact records")
+        database: Optional["Database"] = None
+        start = 0
+        for position in range(len(records) - 1, -1, -1):
+            record = records[position]
+            if record.type != "checkpoint":
+                continue
+            snapshot = Path(record.payload["path"])
+            if snapshot.exists():
+                try:
+                    database = cls.load(snapshot)
+                except SessionError:
+                    continue  # unreadable snapshot: fall back further
+                database.maintenance = maintenance
+                start = position + 1
+                break
+        if database is None:
+            first = records[0]
+            if first.type != "load":
+                raise ChangeLogError(
+                    f"change log {log_path} does not start with a load record "
+                    f"(found {first.type!r}) and no checkpoint snapshot is "
+                    f"readable"
+                )
+            document = XMLDocument(
+                decode_subtree(first.payload["root"]),
+                name=first.payload.get("name", "doc"),
+            )
+            database = cls(document, maintenance=maintenance)
+            start = 1
+        database._replay(records[start:])
+        # resume durable logging exactly where the recovered history ends
+        database._change_log = ChangeLog(log_path)
+        return database
+
+    def _replay(self, records: Iterable) -> None:
+        """Apply logged operations without re-appending them."""
+        document = self._require_document()
+        self._replaying = True
+        try:
+            for record in records:
+                payload = record.payload
+                if record.type == "insert":
+                    parent = document.node_by_id(
+                        DeweyID.from_string(payload["parent"])
+                    )
+                    node = self.insert_subtree(
+                        parent, decode_subtree(payload["subtree"])
+                    )
+                    if str(node.dewey) != payload["dewey"]:
+                        raise ChangeLogError(
+                            f"replay of lsn {record.lsn} assigned Dewey ID "
+                            f"{node.dewey}, but the log recorded "
+                            f"{payload['dewey']} — the replayed history "
+                            f"diverged from the original"
+                        )
+                elif record.type == "delete":
+                    self.delete_subtree(DeweyID.from_string(payload["dewey"]))
+                elif record.type == "create_view":
+                    self.create_view(
+                        payload["pattern"],
+                        name=payload["name"],
+                        materialize=payload.get("materialize", True),
+                    )
+                elif record.type == "drop_view":
+                    self.drop_view(payload["name"])
+                elif record.type in ("checkpoint", "load"):
+                    continue  # fences / the starting point; nothing to apply
+                else:  # pragma: no cover - ChangeLog.read validates types
+                    raise ChangeLogError(
+                        f"cannot replay record type {record.type!r}"
+                    )
+        finally:
+            self._replaying = False
 
     # ------------------------------------------------------------------ #
     # query lifecycle
@@ -690,11 +1011,15 @@ class Database:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release pooled resources: the worker pool and the shared-memory
-        extent segments (idempotent; the session stays usable — a later
+        """Release pooled resources: the worker pool, the shared-memory
+        extent segments and the attached change log's file handle
+        (idempotent; the session stays usable — a later
         ``query_many(workers=N)`` simply starts a fresh pool and, for
         execute-mode batches, republishes the extents)."""
         self._rewriter.close()
+        if self._change_log is not None:
+            self._change_log.close()
+            self._change_log = None
 
     def __enter__(self) -> "Database":
         return self

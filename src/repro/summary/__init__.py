@@ -14,12 +14,18 @@ Summaries are built in a single linear pass over the document, as in [15].
 """
 
 from repro.summary.node import SummaryNode
-from repro.summary.dataguide import Summary, build_summary, summary_from_paths
+from repro.summary.dataguide import (
+    Summary,
+    SummaryDelta,
+    build_summary,
+    summary_from_paths,
+)
 from repro.summary.statistics import Statistics, SummaryStatistics, summarize
 
 __all__ = [
     "SummaryNode",
     "Summary",
+    "SummaryDelta",
     "build_summary",
     "summary_from_paths",
     "Statistics",

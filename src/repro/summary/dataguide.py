@@ -11,13 +11,41 @@ hand-drawn example summaries and the synthetic workloads are written down.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.errors import SummaryError
 from repro.summary.node import SummaryNode
 from repro.xmltree.node import XMLDocument, XMLNode
 
-__all__ = ["Summary", "build_summary", "summary_from_paths"]
+__all__ = ["Summary", "SummaryDelta", "build_summary", "summary_from_paths"]
+
+
+@dataclass
+class SummaryDelta:
+    """What one :meth:`Summary.observe_insert` / ``observe_delete`` changed.
+
+    Consumers use this to pick the cheapest safe reaction: when neither the
+    node set nor any strong / one-to-one flag moved
+    (:attr:`preserves_annotations`), every pattern annotation and
+    containment result computed under the old summary is still valid and
+    derived state can be patched in place; otherwise caches keyed on the
+    summary's structure must be dropped.
+    """
+
+    added_paths: list[str] = field(default_factory=list)
+    removed_paths: list[str] = field(default_factory=list)
+    flags_changed: bool = False
+
+    @property
+    def structure_changed(self) -> bool:
+        """True iff summary nodes were created or removed."""
+        return bool(self.added_paths or self.removed_paths)
+
+    @property
+    def preserves_annotations(self) -> bool:
+        """True iff annotations/containment under the old summary still hold."""
+        return not self.structure_changed and not self.flags_changed
 
 
 class Summary:
@@ -33,6 +61,11 @@ class Summary:
         self.name = name
         self._by_path: dict[str, SummaryNode] = {}
         self._by_number: dict[int, SummaryNode] = {}
+        # retained per-path / per-edge counters (filled by build_summary);
+        # None means the summary cannot be maintained incrementally
+        self._instance_counts: Optional[dict[str, int]] = None
+        self._with_child: Optional[dict[tuple[str, str], int]] = None
+        self._with_exactly_one: Optional[dict[tuple[str, str], int]] = None
         self._renumber()
 
     # ------------------------------------------------------------------ #
@@ -47,6 +80,165 @@ class Summary:
                 raise SummaryError(f"duplicate summary path {node.path!r}")
             self._by_path[node.path] = node
             self._by_number[number] = node
+        # append-only numbering for incrementally added nodes: existing
+        # numbers never move (annotated patterns and statistics hold them),
+        # retired numbers are never reused
+        self._next_number = len(self._by_number) + 1
+
+    @property
+    def supports_incremental_maintenance(self) -> bool:
+        """True iff the summary retained the counters mutation upkeep needs.
+
+        :func:`build_summary` retains them; hand-written summaries
+        (:func:`summary_from_paths`) and direct constructions do not — they
+        summarise no concrete document, so there is nothing to maintain.
+        """
+        return getattr(self, "_instance_counts", None) is not None
+
+    def _require_counters(self) -> None:
+        if not self.supports_incremental_maintenance:
+            raise SummaryError(
+                f"summary {self.name!r} was not built by build_summary and "
+                f"carries no retained instance counters; it cannot be "
+                f"maintained incrementally under document mutations"
+            )
+
+    def _refresh_edge_flags(self, parent_node: SummaryNode) -> bool:
+        """Recompute strong / one-to-one flags of every edge under one node."""
+        changed = False
+        parents = self._instance_counts.get(parent_node.path, 0)
+        for child in parent_node.children:
+            key = (parent_node.path, child.label)
+            strong = parents > 0 and self._with_child.get(key, 0) == parents
+            one = parents > 0 and self._with_exactly_one.get(key, 0) == parents
+            if strong != child.strong or one != child.one_to_one:
+                changed = True
+            child.strong = strong
+            child.one_to_one = one
+        return changed
+
+    def _count_subtree(self, subtree: XMLNode, sign: int) -> list[XMLNode]:
+        """Apply one subtree's contribution to the retained counters.
+
+        ``sign`` is +1 for an insert, -1 for a delete.  Covers the per-path
+        instance counts and the per-edge counters *internal* to the subtree;
+        the edge from the insertion/deletion parent to the subtree root is
+        the caller's business (that parent instance is not part of the
+        subtree).  Returns the subtree nodes in document order.
+        """
+        members = list(subtree.iter_subtree())
+        for node in members:
+            self._instance_counts[node.path] = (
+                self._instance_counts.get(node.path, 0) + sign
+            )
+            label_counts: dict[str, int] = {}
+            for child in node.children:
+                label_counts[child.label] = label_counts.get(child.label, 0) + 1
+            for label, count in label_counts.items():
+                key = (node.path, label)
+                self._with_child[key] = self._with_child.get(key, 0) + sign
+                if count == 1:
+                    self._with_exactly_one[key] = (
+                        self._with_exactly_one.get(key, 0) + sign
+                    )
+        return members
+
+    def observe_insert(self, parent: XMLNode, subtree: XMLNode) -> SummaryDelta:
+        """Fold a just-inserted subtree into the summary, incrementally.
+
+        Call after :meth:`~repro.xmltree.node.XMLDocument.insert_subtree`:
+        ``subtree`` is attached under ``parent`` and carries its paths.
+        New paths get fresh summary nodes with *append* numbers (existing
+        numbers never move), instance counts and the retained per-edge
+        counters are updated for the touched paths only, and the strong /
+        one-to-one flags of every affected edge are recomputed.  The
+        returned :class:`SummaryDelta` says whether anything annotation-
+        relevant moved.
+        """
+        self._require_counters()
+        delta = SummaryDelta()
+        members = self._count_subtree(subtree, +1)
+        # the edge entering the subtree root: parent gained one child with
+        # this label (k -> k+1 children of that label)
+        k = sum(1 for c in parent.children if c.label == subtree.label) - 1
+        key = (parent.path, subtree.label)
+        if k == 0:
+            self._with_child[key] = self._with_child.get(key, 0) + 1
+            self._with_exactly_one[key] = self._with_exactly_one.get(key, 0) + 1
+        elif k == 1:
+            self._with_exactly_one[key] = self._with_exactly_one.get(key, 0) - 1
+        # create summary nodes for never-before-seen paths (document order,
+        # so a new node's summary parent always exists by the time we need it)
+        for node in members:
+            if node.path not in self._by_path:
+                summary_parent = self._by_path[node.parent.path]
+                created = SummaryNode(node.label, node.path, parent=summary_parent)
+                summary_parent.children.append(created)
+                created.number = self._next_number
+                self._next_number += 1
+                self._by_path[node.path] = created
+                self._by_number[created.number] = created
+                delta.added_paths.append(node.path)
+        # refresh instance counts + edge flags on every touched path
+        touched = {node.path for node in members}
+        touched.add(parent.path)
+        for path in touched:
+            summary_node = self._by_path[path]
+            summary_node.instance_count = self._instance_counts.get(path, 0)
+            if self._refresh_edge_flags(summary_node):
+                delta.flags_changed = True
+        if not delta.preserves_annotations:
+            # containment answers memoised under the old structure/flags no
+            # longer apply; dropping the token retires them wholesale
+            self.__dict__.pop("_containment_token", None)
+        return delta
+
+    def observe_delete(self, parent: XMLNode, subtree: XMLNode) -> SummaryDelta:
+        """Fold a just-deleted subtree out of the summary, incrementally.
+
+        Call after :meth:`~repro.xmltree.node.XMLDocument.delete_subtree`
+        with the *detached* subtree (it keeps its paths) and its former
+        parent.  Paths whose instance count reaches zero lose their summary
+        nodes (their numbers are retired, not reused); affected edge flags
+        are recomputed.
+        """
+        self._require_counters()
+        delta = SummaryDelta()
+        members = self._count_subtree(subtree, -1)
+        # the edge entering the subtree root: parent lost one child with
+        # this label (k -> k-1 children of that label)
+        k = sum(1 for c in parent.children if c.label == subtree.label) + 1
+        key = (parent.path, subtree.label)
+        if k == 1:
+            self._with_child[key] = self._with_child.get(key, 0) - 1
+            self._with_exactly_one[key] = self._with_exactly_one.get(key, 0) - 1
+        elif k == 2:
+            self._with_exactly_one[key] = self._with_exactly_one.get(key, 0) + 1
+        # retire summary nodes for paths that no longer occur (deepest
+        # first, so children detach before their parents)
+        for node in sorted(members, key=lambda n: -n.depth):
+            path = node.path
+            if path in self._by_path and self._instance_counts.get(path, 0) <= 0:
+                summary_node = self._by_path.pop(path)
+                self._by_number.pop(summary_node.number, None)
+                if summary_node.parent is not None:
+                    summary_node.parent.children.remove(summary_node)
+                    summary_node.parent = None
+                self._instance_counts.pop(path, None)
+                delta.removed_paths.append(path)
+        # refresh instance counts + edge flags on every surviving touched path
+        touched = {node.path for node in members}
+        touched.add(parent.path)
+        for path in touched:
+            summary_node = self._by_path.get(path)
+            if summary_node is None:
+                continue
+            summary_node.instance_count = self._instance_counts.get(path, 0)
+            if self._refresh_edge_flags(summary_node):
+                delta.flags_changed = True
+        if not delta.preserves_annotations:
+            self.__dict__.pop("_containment_token", None)
+        return delta
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -144,14 +336,23 @@ class Summary:
 
 
 def build_summary(doc: XMLDocument, name: Optional[str] = None) -> Summary:
-    """Build the enhanced structural summary of ``doc`` in one linear pass."""
+    """Build the enhanced structural summary of ``doc`` in one linear pass.
+
+    The per-path instance counts and per-edge counters computed along the
+    way are retained on the summary — they are exactly the state
+    :meth:`Summary.observe_insert` / :meth:`Summary.observe_delete` need to
+    keep the summary (and its strong / one-to-one flags) correct under
+    live document mutations without another document pass.
+    """
     root = SummaryNode(doc.root.label, "/" + doc.root.label)
     root.instance_count = 1
     root.strong = True
     root.one_to_one = True
     _summarize_children(doc.root, root)
-    _walk_counts(doc.root, root)
-    return Summary(root, name=name or f"summary({doc.name})")
+    counters = _walk_counts(doc.root, root)
+    summary = Summary(root, name=name or f"summary({doc.name})")
+    summary._instance_counts, summary._with_child, summary._with_exactly_one = counters
+    return summary
 
 
 def _summarize_children(doc_node: XMLNode, summary_node: SummaryNode) -> None:
@@ -166,8 +367,13 @@ def _summarize_children(doc_node: XMLNode, summary_node: SummaryNode) -> None:
         _summarize_children(child, target)
 
 
-def _walk_counts(doc_root: XMLNode, summary_root: SummaryNode) -> None:
-    """Compute instance counts plus strong / one-to-one edge flags."""
+def _walk_counts(
+    doc_root: XMLNode, summary_root: SummaryNode
+) -> tuple[dict[str, int], dict[tuple[str, str], int], dict[tuple[str, str], int]]:
+    """Compute instance counts plus strong / one-to-one edge flags.
+
+    Returns the three counter maps so :func:`build_summary` can retain them
+    for incremental maintenance."""
     # per summary path: number of document instances
     instance_counts: dict[str, int] = {}
     # per (parent path, child label): number of parent instances with >=1 /
@@ -200,6 +406,7 @@ def _walk_counts(doc_root: XMLNode, summary_root: SummaryNode) -> None:
         summary_node.one_to_one = (
             parents > 0 and with_exactly_one.get(key, 0) == parents
         )
+    return instance_counts, with_child, with_exactly_one
 
 
 def summary_from_paths(

@@ -107,9 +107,20 @@ class Statistics:
         # kept for lazy pattern annotation in observe_view; snapshots that
         # already contain the summary object share it through pickle's memo
         self._summary = summary
-        self._instances: dict[int, int] = {}
-        self._depths: dict[int, int] = {}
-        self._label_instances: dict[str, int] = {}
+        self._resync_base_statistics()
+        self._view_rows: dict[str, float] = {}
+        self._view_exact: dict[str, bool] = {}
+        self._view_sorted: dict[str, Optional[str]] = {}
+        self._view_columns: dict[str, dict[str, dict]] = {}
+        for view in views:
+            self.observe_view(view)
+
+    def _resync_base_statistics(self) -> None:
+        """(Re)derive the per-path / per-label counts from the summary."""
+        summary = self._summary
+        self._instances = {}
+        self._depths = {}
+        self._label_instances = {}
         total = 0
         weighted_depth = 0
         internal = 0
@@ -134,11 +145,22 @@ class Statistics:
         self.average_fanout = max(
             1.0, (self.total_instances - root_count) / max(internal, 1)
         )
-        self._view_rows: dict[str, float] = {}
-        self._view_exact: dict[str, bool] = {}
-        self._view_sorted: dict[str, Optional[str]] = {}
-        self._view_columns: dict[str, dict[str, dict]] = {}
-        for view in views:
+
+    def resync_summary(
+        self, changed_views: Iterable["MaterializedView"] = ()
+    ) -> None:
+        """Refresh the base statistics after a live document mutation.
+
+        The incremental-maintenance hook the session layer calls instead of
+        rebuilding the whole statistics object: the summary has already
+        been updated in place (:meth:`Summary.observe_insert` /
+        ``observe_delete``), so the per-path counts are re-indexed from it
+        — O(|S|), no document pass — and the maintained extents whose rows
+        changed are re-observed for exact sizes.  Everything recorded about
+        *unchanged* views stays as is.
+        """
+        self._resync_base_statistics()
+        for view in changed_views:
             self.observe_view(view)
 
     # ------------------------------------------------------------------ #

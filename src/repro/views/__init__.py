@@ -27,6 +27,7 @@ travel through the extent store alongside the columnar payload.
 
 from repro.views.view import IdScheme, MaterializedView
 from repro.views.store import ViewSet
+from repro.views.delta import SubtreeChange, apply_subtree_delta, can_apply_delta
 from repro.views.catalog import CatalogFormatError, ViewCatalog
 from repro.views.extent_store import (
     AttachedExtents,
@@ -57,8 +58,11 @@ __all__ = [
     "MaterializedView",
     "OrderedIndex",
     "StaleExtentError",
+    "SubtreeChange",
     "ViewCatalog",
     "ViewSet",
+    "apply_subtree_delta",
     "build_index",
+    "can_apply_delta",
     "index_for_source",
 ]

@@ -310,6 +310,19 @@ class ViewCatalog:
                     break
         return names
 
+    def resync_statistics(self, changed_views: Iterable[MaterializedView] = ()) -> None:
+        """Re-sync the cached statistics after a live document mutation.
+
+        Only valid when the mutation preserved every entry's annotation
+        (no summary-shape or edge-flag change — the caller,
+        :meth:`~repro.rewriting.rewriter.Rewriter.notify_document_changed`,
+        checks); the base per-path counts are re-read from the in-place
+        maintained summary and the changed extents re-observed.  No-op when
+        the statistics were never built.
+        """
+        if self._statistics is not None:
+            self._statistics.resync_summary(changed_views)
+
     # ------------------------------------------------------------------ #
     # statistics snapshot
     # ------------------------------------------------------------------ #

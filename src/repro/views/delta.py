@@ -1,0 +1,262 @@
+"""Incremental extent maintenance: ordered Dewey splices for chain views.
+
+The sorted extent guarantee (PR 3) stores every structural-ID extent in
+document order of its first ``ID`` column.  Under a subtree insert or
+delete at Dewey ID ``D``, the rows a *chain* pattern can gain or lose are
+confined to two contiguous runs of that sorted extent:
+
+* rows pinned **inside** the changed subtree — first ID in ``[D, D⁺)``
+  (the half-open Dewey range covering ``D`` and all its descendants), and
+* rows pinned at a **strict ancestor** of ``D`` — one equal-ID run per
+  ancestor that can match the pinning pattern node.
+
+Everything else is untouched.  The argument: in a chain pattern (every
+node at most one child, no nested edges) each embedding maps the nodes
+above the pinning node ``n_i`` to ancestors of its image ``v`` and the
+nodes below to descendants of ``v``, so the whole support of a row lies in
+``rootpath(v) ∪ subtree(v)``.  A change at ``D`` intersects that support
+only when ``v`` is inside the changed subtree or an ancestor of it — the
+two runs above.  Optional edges at or above ``n_i`` are excluded by the
+eligibility gate (they could pin rows at ``⊥``); optional edges *below*
+``n_i`` are fine (their support still sits in ``subtree(v)``).
+
+Each affected run is recomputed by evaluating the pattern over a **pruned
+clone** of the document — the root path to the pinning node plus its
+subtree, with Dewey IDs and rooted paths copied verbatim — and spliced
+back in place.  Work is proportional to the affected region, not the
+document; :func:`apply_subtree_delta` falls back (returns ``None``) when
+the gate fails or when the affected region grows past half the document,
+and :meth:`~repro.views.view.MaterializedView.apply_delta` then simply
+rematerialises.  Both paths are row-identical — the stateful property
+harness in ``tests/property`` drives random mutation interleavings
+against a rebuild oracle to prove it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.algebra.tuples import Relation
+from repro.patterns.embedding import EmbeddingMode, _node_matches
+from repro.patterns.pattern import PatternNode
+from repro.patterns.semantics import default_id_function, evaluate_pattern
+from repro.xmltree.ids import DeweyID
+from repro.xmltree.node import XMLDocument, XMLNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.views.view import MaterializedView
+
+__all__ = ["SubtreeChange", "can_apply_delta", "apply_subtree_delta"]
+
+_REGION_FRACTION_LIMIT = 0.5
+"""Fallback threshold: when the pruned regions to re-evaluate exceed this
+fraction of the document, a full rematerialisation is cheaper (and the
+"delta" would not be a delta)."""
+
+
+@dataclass(frozen=True)
+class SubtreeChange:
+    """One applied document mutation, as the maintenance layer sees it.
+
+    ``root`` is the Dewey ID of the inserted / deleted subtree root and
+    ``parent`` its (surviving) parent's ID.  For an insert the subtree is
+    present in the document under ``root``; for a delete it is gone.
+    """
+
+    kind: str  # "insert" | "delete"
+    root: DeweyID
+    parent: DeweyID
+
+
+def _chain_nodes(view: "MaterializedView") -> Optional[list[PatternNode]]:
+    """The pattern's nodes root-down if it is a plain chain, else ``None``."""
+    nodes: list[PatternNode] = []
+    node: Optional[PatternNode] = view.pattern.root
+    while node is not None:
+        if node.nested:
+            return None
+        nodes.append(node)
+        if len(node.children) > 1:
+            return None
+        node = node.children[0] if node.children else None
+    return nodes
+
+
+def can_apply_delta(view: "MaterializedView") -> Optional[tuple[list[PatternNode], int]]:
+    """Eligibility gate for the ordered-splice maintenance path.
+
+    Returns ``(chain nodes, index of the pinning node)`` when every
+    precondition holds, ``None`` otherwise:
+
+    * structural identifier scheme with the default ``fID`` (cells in the
+      sort column are genuine Dewey IDs of the pinned nodes),
+    * the pattern is a chain (at most one child per node, no nested edges),
+    * it has an ID column, and the extent is sorted on it,
+    * the pinning node is not the pattern root (a root-pinned chain makes
+      every row's support the whole document) and no edge at or above it
+      is optional (so the sort column never holds ``⊥``).
+    """
+    if not view.id_scheme.structural:
+        return None
+    if view._id_function is not default_id_function:
+        return None
+    chain = _chain_nodes(view)
+    if chain is None:
+        return None
+    pin_index = next(
+        (i for i, node in enumerate(chain) if "ID" in node.attributes), None
+    )
+    if pin_index is None or pin_index == 0:
+        return None
+    if any(node.optional for node in chain[: pin_index + 1]):
+        return None
+    column = view.dewey_sort_column()
+    if column is None or not view.relation.is_sorted_by(column):
+        return None
+    return chain, pin_index
+
+
+def _clone_with_ids(node: XMLNode, deep: bool) -> XMLNode:
+    """A detached clone carrying the original's Dewey ID and rooted path."""
+    clone = XMLNode(node.label, node.value)
+    clone.dewey = node.dewey
+    clone.path = node.path
+    if deep:
+        for child in node.children:
+            child_clone = _clone_with_ids(child, True)
+            child_clone.parent = clone
+            clone.children.append(child_clone)
+    return clone
+
+
+def _pruned_root(target: XMLNode) -> XMLNode:
+    """Clone ``rootpath(target) ∪ subtree(target)``, IDs preserved.
+
+    The chain of ancestors is cloned with a single child each (the next
+    chain member); the target keeps its whole subtree.  Evaluating a chain
+    pattern over this pruned tree yields exactly the rows whose pinning
+    node lies on the root path or in the subtree — see the module notes.
+    """
+    clone = _clone_with_ids(target, True)
+    node = target
+    while node.parent is not None:
+        parent_clone = _clone_with_ids(node.parent, False)
+        clone.parent = parent_clone
+        parent_clone.children.append(clone)
+        clone = parent_clone
+        node = node.parent
+    return clone
+
+
+def _region_rows(
+    view: "MaterializedView", document: XMLDocument, target: XMLNode
+) -> Relation:
+    """Evaluate the view pattern over the pruned clone around ``target``."""
+    return evaluate_pattern(
+        view.pattern, _pruned_root(target), id_function=view._id_function
+    )
+
+
+def _repatriate(row: tuple, document: XMLDocument) -> tuple:
+    """Swap pruned-clone node cells for the live document's own nodes.
+
+    Content references (``C`` / ``NODE`` cells) produced over the pruned
+    clone are ID-identical copies; handing back the real nodes keeps
+    delta-maintained extents cell-for-cell identical to rematerialised
+    ones (object identity included).
+    """
+    return tuple(
+        document.node_by_id(cell.dewey) if isinstance(cell, XMLNode) else cell
+        for cell in row
+    )
+
+
+def apply_subtree_delta(
+    view: "MaterializedView", document: XMLDocument, change: SubtreeChange
+) -> Optional[Relation]:
+    """Patch the extent for one subtree change; ``None`` means fall back.
+
+    The splice plan: on the *sorted* extent, compute one contiguous
+    replacement run for the changed subtree's Dewey range and one per
+    matching ancestor, re-evaluate each over its pruned clone, and rebuild
+    the row list in a single ordered pass.
+    """
+    gate = can_apply_delta(view)
+    if gate is None:
+        return None
+    chain, pin_index = gate
+    pin = chain[pin_index]
+    relation = view.relation
+    column = view.dewey_sort_column()
+    index = relation.column_index(column)
+    rows = relation.rows
+    key = lambda row: row[index].components  # noqa: E731
+
+    # splices: (lo, hi, replacement rows), disjoint, computed on the
+    # original row list
+    splices: list[tuple[int, int, list[tuple]]] = []
+    region_nodes = 0
+
+    # 1. the subtree range [D, D⁺): everything pinned inside the change
+    components = change.root.components
+    lo = bisect_left(rows, components, key=key)
+    hi = bisect_left(rows, components[:-1] + (components[-1] + 1,), key=key)
+    if change.kind == "insert":
+        subtree = document.node_by_id(change.root)
+        region_nodes += subtree.subtree_size()
+        fresh = _region_rows(view, document, subtree)
+        replacement = [
+            _repatriate(row, document)
+            for row in fresh.rows
+            if change.root.is_ancestor_or_self_of(row[index])
+        ]
+    else:
+        # a deleted range has no nodes left to pin rows on
+        replacement = []
+    if lo != hi or replacement:
+        splices.append((lo, hi, replacement))
+
+    # 2. one equal-ID run per strict ancestor the pinning node can match
+    for depth in range(1, len(components)):
+        ancestor_id = DeweyID(components[:depth])
+        ancestor = document.node_by_id(ancestor_id)
+        if not _node_matches(pin, ancestor, EmbeddingMode.DOCUMENT):
+            continue
+        region_nodes += ancestor.subtree_size()
+        if region_nodes > _REGION_FRACTION_LIMIT * document.size:
+            return None  # the "delta" covers most of the document
+        run_lo = bisect_left(rows, ancestor_id.components, key=key)
+        run_hi = run_lo
+        while run_hi < len(rows) and rows[run_hi][index] == ancestor_id:
+            run_hi += 1
+        fresh = _region_rows(view, document, ancestor)
+        replacement = [
+            _repatriate(row, document)
+            for row in fresh.rows
+            if row[index] == ancestor_id
+        ]
+        if run_lo != run_hi or replacement:
+            splices.append((run_lo, run_hi, replacement))
+
+    if not splices:
+        return relation  # nothing this view can see changed
+
+    # 3. rebuild the row list in one ordered pass (replacement runs are
+    # re-sorted stably so equal-ID rows keep their generation order —
+    # the same order a full rematerialisation's stable sort yields)
+    splices.sort(key=lambda s: s[0])
+    patched: list[tuple] = []
+    cursor = 0
+    for lo, hi, replacement in splices:
+        patched.extend(rows[cursor:lo])
+        replacement.sort(key=lambda row: row[index].components)
+        patched.extend(replacement)
+        cursor = hi
+    patched.extend(rows[cursor:])
+
+    result = Relation(relation.columns)
+    result.rows = patched
+    result.sorted_by = relation.sorted_by
+    return result

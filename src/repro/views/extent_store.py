@@ -14,16 +14,22 @@ lazily, at most once per worker per version.
 
 Three contracts matter:
 
-* **publish-once** — :meth:`ExtentStore.publish` is keyed on
-  ``views.version`` (the same counter that invalidates the rewriter's
-  catalog and the batch engine's snapshot); republishing an unchanged view
-  set returns the cached manifest without touching shared memory.
-  :attr:`ExtentStore.publish_count` counts segment creations over the
-  store's lifetime, so tests can assert "exactly once per version".
-* **stale rejection** — publishing a *new* version unlinks the previous
-  segments first, so :meth:`AttachedExtents.attach` on a manifest from a
+* **publish-once / diff publishing** — :meth:`ExtentStore.publish` is
+  keyed on ``views.version`` (the same counter that invalidates the
+  rewriter's catalog and the batch engine's snapshot); republishing an
+  unchanged view set returns the cached manifest without touching shared
+  memory.  A *new* version re-encodes only the views whose
+  :attr:`~repro.views.view.MaterializedView.extent_version` moved since
+  their last encode — after DDL that is the one view added, after an
+  incremental document update only the views the delta actually touched.
+  :attr:`ExtentStore.publish_count` counts view-segment encodes over the
+  store's lifetime, so tests can assert "exactly once per extent change".
+* **stale rejection** — diff publishing keeps unchanged segments alive
+  across versions, so staleness is enforced by a one-byte *guard* segment
+  minted fresh on every publish (the previous guard is unlinked).
+  :meth:`AttachedExtents.attach` maps the guard first; a manifest from a
   superseded version fails fast with :class:`StaleExtentError` instead of
-  silently serving pre-DDL rows.
+  silently serving pre-DDL (or pre-update) rows.
 * **refcounted lifecycle** — the store is shared by reference
   (:meth:`retain` / :meth:`release`); the last release unlinks every
   segment.  :meth:`~repro.rewriting.batch.BatchEngine.close` (and through
@@ -87,11 +93,12 @@ __all__ = [
 
 
 class StaleExtentError(ExtentStoreError):
-    """Raised when attaching a manifest whose segments were superseded.
+    """Raised when attaching a manifest whose publication was superseded.
 
-    Publishing a new view-set version unlinks the previous version's
-    segments, so a worker holding an old manifest fails here instead of
-    reading pre-DDL extents."""
+    Every publish mints a fresh guard segment and unlinks the previous
+    one (plus any view segments it no longer references), so a worker
+    holding an old manifest fails here instead of reading pre-DDL or
+    pre-update extents."""
 
 
 # --------------------------------------------------------------------------- #
@@ -139,6 +146,13 @@ class ExtentManifest:
     version: int
     segments: tuple[tuple[str, str, int], ...]
     """``(view name, shared-memory segment name, payload bytes)`` triples."""
+
+    guard: Optional[str] = None
+    """Name of the publish's one-byte guard segment.  Diff publishing lets
+    view segments survive version bumps, so the guard — unlinked and
+    re-minted on every publish — is what makes a superseded manifest fail
+    :meth:`AttachedExtents.attach` instead of silently attaching stale
+    rows.  ``None`` only for manifests from stores predating the guard."""
 
     @property
     def view_names(self) -> tuple[str, ...]:
@@ -193,6 +207,12 @@ def _retrack(segment: shared_memory.SharedMemory) -> None:
         pass
 
 
+_GUARD_KEY = "\x00__guard__"
+"""Key of the guard segment inside ``ExtentStore._segments``.  The NUL
+prefix keeps it out of any real view's namespace, and living in the same
+dict puts it under the store's finalizer / release teardown for free."""
+
+
 class ExtentStore:
     """Publishes materialised view extents to shared memory, once per version.
 
@@ -225,10 +245,13 @@ class ExtentStore:
     def __init__(self) -> None:
         self.token = secrets.token_hex(8)
         self.publish_count = 0
-        """Shared-memory segments created over this store's lifetime — the
-        observable publish-once contract: after any number of batches over
-        an unchanged view set this equals the materialised view count."""
+        """View-segment encodes over this store's lifetime — the observable
+        diff-publishing contract: after any number of batches this equals
+        the number of distinct (view, extent version) pairs published, not
+        the number of publishes.  Guard segments are not counted."""
         self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._entries: dict[str, tuple[str, str, int]] = {}
+        self._extent_versions: dict[str, int] = {}
         self._manifest: Optional[ExtentManifest] = None
         self._version: Optional[int] = None
         self._refs = 1
@@ -264,34 +287,61 @@ class ExtentStore:
         self._refs -= 1
         if self._refs == 0:
             _unlink_quietly(self._segments)
+            self._entries.clear()
+            self._extent_versions.clear()
             self._manifest = None
             self._version = None
+
+    def _drop_segment(self, key: str) -> None:
+        """Unlink one superseded segment (a view's old extent, or a guard)."""
+        segment = self._segments.pop(key, None)
+        if segment is None:
+            return
+        try:
+            _retrack(segment)
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - already-gone segments are fine
+            pass
 
     def publish(self, views: ViewSet) -> ExtentManifest:
         """Publish every materialised extent, keyed on ``views.version``.
 
         Unchanged versions return the cached manifest without touching
-        shared memory; a new version unlinks the previous segments first
-        (superseding them — see :class:`StaleExtentError`) and publishes
-        fresh ones.  Unmaterialised views are skipped: they have no extent
-        to scan, in the parent or anywhere else.
+        shared memory.  A new version publishes a *diff*: only views whose
+        :attr:`~repro.views.view.MaterializedView.extent_version` moved
+        since their last encode get a fresh segment; unchanged views keep
+        the one they have, and segments of removed views are unlinked.
+        Every publish replaces the guard segment, superseding all earlier
+        manifests (see :class:`StaleExtentError`).  Unmaterialised views
+        are skipped: they have no extent to scan, in the parent or
+        anywhere else.
         """
         if self._refs <= 0:
             raise ExtentStoreError("cannot publish through a released extent store")
         version = views.version
         if self._manifest is not None and self._version == version:
             return self._manifest
-        _unlink_quietly(self._segments)
         entries: list[tuple[str, str, int]] = []
+        live: set[str] = set()
         for view in views:
             if not view.is_materialized:
+                continue
+            live.add(view.name)
+            extent_version = getattr(view, "extent_version", None)
+            if (
+                view.name in self._segments
+                and extent_version is not None
+                and extent_version == self._extent_versions.get(view.name)
+            ):
+                entries.append(self._entries[view.name])
                 continue
             payload = encode_relation(view.relation)
             # ship value indexes the parent has already built (cached on the
             # relation's column batch by encode_relation's transpose) as an
             # XIDX trailer after the column blocks, so workers attach them
             # instead of rebuilding; indexes built later stay parent-local
-            # until the next version's publish
+            # until the next publish that re-encodes this view
             batch = getattr(view.relation, "_column_batch", None)
             if batch is not None:
                 built = {
@@ -302,14 +352,33 @@ class ExtentStore:
                 }
                 if built:
                     payload += encode_index_section(built)
+            self._drop_segment(view.name)
             segment = shared_memory.SharedMemory(create=True, size=len(payload))
             _untrack(segment)  # the store owns the unlink, not the tracker
             segment.buf[: len(payload)] = payload
             self._segments[view.name] = segment
             self.publish_count += 1
-            entries.append((view.name, segment.name, len(payload)))
+            entry = (view.name, segment.name, len(payload))
+            self._entries[view.name] = entry
+            if extent_version is not None:
+                self._extent_versions[view.name] = extent_version
+            entries.append(entry)
+        for name in list(self._segments):
+            if name not in live and name != _GUARD_KEY:
+                self._drop_segment(name)
+                self._entries.pop(name, None)
+                self._extent_versions.pop(name, None)
+        # a fresh guard supersedes every manifest handed out so far; the
+        # old one is unlinked, so stale attaches fail on their guard even
+        # though the view segments they name may still exist
+        self._drop_segment(_GUARD_KEY)
+        guard = shared_memory.SharedMemory(create=True, size=1)
+        _untrack(guard)
+        self._segments[_GUARD_KEY] = guard
         self._version = version
-        self._manifest = ExtentManifest(self.token, version, tuple(entries))
+        self._manifest = ExtentManifest(
+            self.token, version, tuple(entries), guard=guard.name
+        )
         return self._manifest
 
     def __repr__(self) -> str:
@@ -402,20 +471,34 @@ class AttachedExtents:
     view (a worker whose shard never scans a view never pays its decode).
     """
 
-    def __init__(self, manifest: ExtentManifest, views: dict[str, _AttachedView]):
+    def __init__(
+        self,
+        manifest: ExtentManifest,
+        views: dict[str, _AttachedView],
+        guard: Optional[shared_memory.SharedMemory] = None,
+    ):
         self.manifest = manifest
         self._views = views
+        self._guard = guard
 
     @classmethod
     def attach(cls, manifest: ExtentManifest) -> "AttachedExtents":
         """Map every segment named by ``manifest`` (no decoding yet).
 
-        Raises :class:`StaleExtentError` when any segment no longer exists —
-        the publishing store has moved to a newer view-set version (or was
-        released); everything mapped so far is closed again before raising.
+        The guard segment is mapped *first*: diff publishing means a
+        superseded manifest may still name live view segments, but its
+        guard is gone — so staleness surfaces here, immediately and
+        deterministically, as :class:`StaleExtentError`.  The same error
+        covers view segments that were individually superseded (the view's
+        extent changed) or a released store; everything mapped so far is
+        closed again before raising.
         """
         views: dict[str, _AttachedView] = {}
+        guard: Optional[shared_memory.SharedMemory] = None
         try:
+            if manifest.guard is not None:
+                guard = shared_memory.SharedMemory(name=manifest.guard)
+                _untrack(guard)
             for name, segment_name, nbytes in manifest.segments:
                 segment = shared_memory.SharedMemory(name=segment_name)
                 _untrack(segment)
@@ -423,12 +506,14 @@ class AttachedExtents:
         except FileNotFoundError as exc:
             for attached in views.values():
                 attached._segment.close()
+            if guard is not None:
+                guard.close()
             raise StaleExtentError(
                 f"extent manifest for views.version={manifest.version} is "
                 f"stale: segment {exc.filename or ''!r} was unpublished "
-                f"(view DDL bumped the version, or the store was released)"
+                f"(a newer publish superseded it, or the store was released)"
             ) from exc
-        return cls(manifest, views)
+        return cls(manifest, views, guard)
 
     # ------------------------------------------------------------------ #
     def __getitem__(self, name: str) -> _AttachedView:
@@ -464,6 +549,12 @@ class AttachedExtents:
         for attached in self._views.values():
             attached._close()
         self._views = {}
+        if self._guard is not None:
+            try:
+                self._guard.close()
+            except Exception:  # pragma: no cover - double-close safety
+                pass
+            self._guard = None
 
     def __repr__(self) -> str:
         return (

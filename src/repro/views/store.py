@@ -48,6 +48,18 @@ class ViewSet:
         if self._views.pop(name, None) is not None:
             self._version += 1
 
+    def touch(self) -> int:
+        """Bump the version without changing membership; returns it.
+
+        The live-document hook: a subtree insert or delete changes view
+        *extents* (not the view set), but every consumer keyed on the
+        version counter — plan cache, prepared queries, batch snapshots,
+        worker pools, the shared extent store — must still notice.  One
+        bump invalidates them all.
+        """
+        self._version += 1
+        return self._version
+
     def materialize_all(self, document: XMLDocument) -> None:
         """Materialise every view in the set over ``document``.
 

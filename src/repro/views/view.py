@@ -99,6 +99,7 @@ class MaterializedView:
         self.id_scheme = id_scheme or IdScheme.dewey()
         self._id_function = id_function or default_id_function
         self._relation: Optional[Relation] = None
+        self._extent_version = 0
         if document is not None:
             self.materialize(document)
 
@@ -140,7 +141,42 @@ class MaterializedView:
             except ReproError:
                 pass  # non-Dewey fID under a structural scheme: keep unsorted
         self._relation = relation
+        self._extent_version += 1
         return self._relation
+
+    @property
+    def extent_version(self) -> int:
+        """Bumps whenever the materialised extent changes (0 = never built).
+
+        The change detector behind the extent store's diff publishing: a
+        view whose extent version did not move between two publishes keeps
+        its shared-memory segment instead of being re-encoded.
+        """
+        return getattr(self, "_extent_version", 0)
+
+    def apply_delta(self, document: XMLDocument, change) -> str:
+        """Maintain the extent under one subtree insert / delete.
+
+        ``change`` is a :class:`~repro.views.delta.SubtreeChange` describing
+        a mutation *already applied* to ``document``.  When the view is
+        eligible for incremental maintenance (see
+        :func:`~repro.views.delta.can_apply_delta`) the sorted extent is
+        patched by an ordered Dewey splice — work proportional to the
+        affected region, not the document; otherwise the view is fully
+        rematerialised.  Returns ``"delta"`` or ``"rematerialized"`` so
+        callers can observe which path ran.  Either way the result is
+        row-identical to ``materialize(document)``.
+        """
+        from repro.views.delta import apply_subtree_delta
+
+        if self._relation is not None:
+            patched = apply_subtree_delta(self, document, change)
+            if patched is not None:
+                self._relation = patched
+                self._extent_version += 1
+                return "delta"
+        self.materialize(document)
+        return "rematerialized"
 
     @property
     def relation(self) -> Relation:

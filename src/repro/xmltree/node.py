@@ -183,16 +183,85 @@ class XMLDocument:
     # identifier / path maintenance
     # ------------------------------------------------------------------ #
     def reindex(self) -> None:
-        """(Re)assign Dewey IDs and rooted paths to every node of the tree."""
+        """(Re)assign Dewey IDs and rooted paths to every node of the tree.
+
+        Only valid on a pristine tree: renumbering compacts sibling
+        ordinals, which would retroactively change the identifiers of
+        nodes that survived an earlier :meth:`delete_subtree`.  Live
+        documents therefore never call this after a mutation — inserts
+        take fresh ordinals past the highest ever used (ORDPATH-style
+        gaps are legal Dewey IDs) and deletes leave the survivors alone.
+        """
         self._nodes_by_id.clear()
+        self._max_child_ordinal: dict[DeweyID, int] = {}
         self._assign(self.root, DeweyID.root(), "/" + self.root.label)
 
     def _assign(self, node: XMLNode, dewey: DeweyID, path: str) -> None:
         node.dewey = dewey
         node.path = path
         self._nodes_by_id[dewey] = node
+        if node.children:
+            self._max_child_ordinal[dewey] = len(node.children)
         for ordinal, child in enumerate(node.children, start=1):
             self._assign(child, dewey.child(ordinal), f"{path}/{child.label}")
+
+    # ------------------------------------------------------------------ #
+    # live mutations (gap-safe: existing identifiers never change)
+    # ------------------------------------------------------------------ #
+    def insert_subtree(self, parent: XMLNode, subtree: XMLNode) -> XMLNode:
+        """Attach ``subtree`` as the last child of ``parent`` and ID it.
+
+        The new node takes the sibling ordinal *after the highest one in
+        use* (not ``len(children) + 1``), so identifiers freed by earlier
+        deletes are never reused — every identifier ever handed out stays
+        unique for the document's lifetime, which is what lets change-log
+        replay and delta maintenance refer to nodes by ID.  Returns the
+        attached subtree root (now carrying its Dewey ID and path).
+        """
+        if parent.dewey is None or parent.dewey not in self._nodes_by_id:
+            raise XMLError(
+                f"insert target <{parent.label}> is not part of document "
+                f"{self.name!r}"
+            )
+        if subtree.parent is not None:
+            raise XMLError(
+                f"subtree root <{subtree.label}> already has a parent; "
+                f"detach (or copy) it first"
+            )
+        if not hasattr(self, "_max_child_ordinal"):  # documents from old pickles
+            self._max_child_ordinal = {}
+        live = max(
+            (child.dewey.ordinal for child in parent.children if child.dewey),
+            default=0,
+        )
+        ordinal = max(live, self._max_child_ordinal.get(parent.dewey, 0)) + 1
+        self._max_child_ordinal[parent.dewey] = ordinal
+        parent.append(subtree)
+        self._assign(
+            subtree,
+            parent.dewey.child(ordinal),
+            f"{parent.path}/{subtree.label}",
+        )
+        return subtree
+
+    def delete_subtree(self, node: XMLNode) -> XMLNode:
+        """Detach ``node`` (and its whole subtree) from the document.
+
+        The root cannot be deleted.  The detached subtree keeps its Dewey
+        IDs and paths (callers use them for summary accounting and change
+        logging); the document forgets them, and sibling identifiers are
+        *not* compacted — see :meth:`insert_subtree`.
+        """
+        if node is self.root:
+            raise XMLError(f"cannot delete the root of document {self.name!r}")
+        if node.dewey is None or self._nodes_by_id.get(node.dewey) is not node:
+            raise XMLError(
+                f"delete target <{node.label}> is not part of document "
+                f"{self.name!r}"
+            )
+        for member in node.iter_subtree():
+            self._nodes_by_id.pop(member.dewey, None)
+        return node.detach()
 
     # ------------------------------------------------------------------ #
     # lookup helpers

@@ -24,6 +24,7 @@ from check_doc_links import broken_links, doc_files  # noqa: E402
 # and harness packages it references in prose)
 DIAGRAM_MODULES = [
     "session",
+    "ingest",
     "xmltree",
     "patterns",
     "summary",
@@ -46,6 +47,7 @@ EXPECTED_DOCS = [
     "benchmarks.md",
     "execution.md",
     "indexes.md",
+    "ingestion.md",
 ]
 
 
@@ -83,5 +85,6 @@ def test_readme_links_into_the_docs_tree():
     readme = (ROOT / "README.md").read_text(encoding="utf-8")
     for target in ["docs/api.md", "docs/architecture.md", "docs/cost-model.md",
                    "docs/containment.md", "docs/benchmarks.md",
-                   "docs/execution.md", "docs/indexes.md"]:
+                   "docs/execution.md", "docs/indexes.md",
+                   "docs/ingestion.md"]:
         assert target in readme, f"README does not link {target}"

@@ -22,6 +22,8 @@ import pytest
 
 import repro.algebra.columnar
 import repro.algebra.execution
+import repro.ingest.changelog
+import repro.ingest.streaming
 import repro.planning.planner
 import repro.rewriting.batch
 import repro.rewriting.rewriter
@@ -33,6 +35,8 @@ import repro.views.indexes
 DOCTEST_MODULES = [
     repro.algebra.columnar,
     repro.algebra.execution,
+    repro.ingest.changelog,
+    repro.ingest.streaming,
     repro.planning.planner,
     repro.rewriting.batch,
     repro.rewriting.rewriter,

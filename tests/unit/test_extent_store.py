@@ -158,6 +158,47 @@ def test_stale_manifest_is_rejected_after_ddl(views, document):
         store.release()
 
 
+def test_diff_publish_reencodes_only_changed_views(views, document):
+    store = ExtentStore()
+    try:
+        store.publish(views)
+        assert store.publish_count == 2
+        # DDL adds a third view: only the new extent is encoded
+        views.add(
+            MaterializedView(parse_pattern("site(//name[V])", name="extra"), document)
+        )
+        store.publish(views)
+        assert store.publish_count == 3
+        # a document mutation bumps one view's extent_version: one re-encode
+        names = views["names"]
+        names._relation = names.relation.project(names.relation.column_names)
+        names._extent_version = names.extent_version + 1
+        views.touch()
+        store.publish(views)
+        assert store.publish_count == 4
+    finally:
+        store.release()
+
+
+def test_old_manifests_go_stale_even_when_all_segments_survive(views):
+    # Diff publishing reuses every view segment when nothing changed except
+    # the version — the per-publish guard segment alone must reject readers
+    # holding the superseded manifest.
+    store = ExtentStore()
+    try:
+        old_manifest = store.publish(views)
+        views.touch()  # e.g. a document mutation that left every extent intact
+        new_manifest = store.publish(views)
+        assert new_manifest.version != old_manifest.version
+        assert store.publish_count == 2, "no view segment was re-encoded"
+        with pytest.raises(StaleExtentError, match="stale"):
+            AttachedExtents.attach(old_manifest)
+        fresh = AttachedExtents.attach(new_manifest)
+        fresh.close()
+    finally:
+        store.release()
+
+
 def test_refcounted_release_unlinks_on_last_owner(views):
     store = ExtentStore()
     manifest = store.publish(views)
