@@ -1,0 +1,58 @@
+"""Service-tier benchmark: HTTP request latency and throughput.
+
+The thread-pool load driver (``tools/load_test.py``) boots a
+:class:`repro.QueryService` over the Figure 13 XMark workload (seed tag
+views, the rewritable query slice) and fires a fixed number of
+``POST /query`` requests from concurrent client threads.  The recorded
+point (``bench-results/service_latency.json``, uploaded by the CI
+``bench-smoke`` job) carries throughput and client-observed p50/p95/p99
+latency.
+
+Correctness is asserted unconditionally, wall-clock is not: every response
+must be 2xx and payload-identical to the serial ``Database.query`` answer
+(the driver computes the expected payloads through the same relation codec
+before the storm).  Latency itself is trend data — the point deliberately
+records no ``*speedup`` field, so the bench-delta gate never turns service
+latency noise into a red nightly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+from load_test import run  # noqa: E402
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+SCALE = 1.0
+THREADS = 4
+REQUESTS = 200
+
+
+def test_service_latency_under_concurrent_load(bench_writer):
+    point = run(scale=SCALE, threads=THREADS, requests=REQUESTS, output=None)
+
+    # correctness first: every request answered, every answer identical to
+    # the serial oracle
+    assert point["errors"] == [], point["errors"]
+    assert point["row_mismatches"] == [], point["row_mismatches"]
+    assert point["requests"] == REQUESTS
+
+    # sanity on the measurement itself
+    assert point["distinct_queries"] > 0
+    assert point["throughput_rps"] > 0
+    latency = point["latency_ms"]
+    assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    bench_writer("service_latency.json", point)
+    print(
+        f"\nservice latency: {point['throughput_rps']:.1f} req/s over "
+        f"{THREADS} threads; p50 {latency['p50']:.2f}ms, "
+        f"p95 {latency['p95']:.2f}ms, p99 {latency['p99']:.2f}ms "
+        f"({point['distinct_queries']} distinct fig13 queries)"
+    )

@@ -105,8 +105,15 @@ from repro.views import MaterializedView, SubtreeChange, ViewCatalog, ViewSet
 from repro.rewriting import BatchEngine, Rewriter, Rewriting
 from repro.planning import CostModel, LogicalPlan, PlanChoice, PlannedRewriting, Planner
 from repro.session import Database, ExplainReport, PreparedQuery
+from repro.service import (
+    QueryService,
+    ServiceApp,
+    ServiceClient,
+    ServiceResponse,
+)
+from repro.errors import RequestValidationError, ServiceError
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     # errors
@@ -188,5 +195,12 @@ __all__ = [
     "Database",
     "PreparedQuery",
     "ExplainReport",
+    # service tier
+    "ServiceError",
+    "RequestValidationError",
+    "ServiceApp",
+    "ServiceResponse",
+    "QueryService",
+    "ServiceClient",
     "__version__",
 ]

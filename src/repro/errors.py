@@ -101,3 +101,18 @@ class ChangeLogCorruptError(ChangeLogError):
     mismatch, an LSN gap, malformed JSON before the last line) means the
     log cannot be trusted and recovery must fail loudly rather than
     replay to a silently wrong state."""
+
+
+class ServiceError(ReproError):
+    """Problems in the HTTP service tier (:mod:`repro.service`)."""
+
+
+class RequestValidationError(ServiceError):
+    """A request payload failed schema validation — the service maps this
+    to a typed HTTP 400 with a structured error body, never a stack
+    trace.  Carries the machine-readable error ``code`` (``bad-request``
+    unless a more specific one applies)."""
+
+    def __init__(self, message: str, code: str = "bad-request"):
+        super().__init__(message)
+        self.code = code

@@ -1,0 +1,79 @@
+"""The query service tier: HTTP API, tracing and metrics over a Database.
+
+Layers, transport-independent core first:
+
+* :mod:`repro.service.models` — versioned, strictly-validated JSON
+  request models and the relation codec;
+* :mod:`repro.service.tracing` — OpenTelemetry-style span trees per
+  request, with per-operator estimated-vs-actual rows lifted from the
+  EXPLAIN ANALYZE plumbing;
+* :mod:`repro.service.metrics` — Prometheus-style counters / gauges /
+  histograms plus the slow-query log;
+* :mod:`repro.service.app` — routing and the request pipeline
+  (:class:`ServiceApp`), no framework, no socket;
+* :mod:`repro.service.server` — the stdlib threaded HTTP server
+  (:class:`QueryService`), the urllib client (:class:`ServiceClient`)
+  and a dependency-free ASGI adapter.
+"""
+
+from repro.service.app import ServiceApp, ServiceHTTPError, ServiceResponse
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlowQueryLog,
+)
+from repro.service.models import (
+    SCHEMA_VERSION,
+    DdlRequest,
+    ExplainRequest,
+    IngestRequest,
+    PrepareRequest,
+    QueryManyRequest,
+    QueryRequest,
+    relation_from_payload,
+    relation_to_payload,
+)
+from repro.service.server import (
+    QueryService,
+    ServiceClient,
+    asgi_server_available,
+    make_asgi_app,
+)
+from repro.service.tracing import (
+    JsonlExporter,
+    RingBufferExporter,
+    Span,
+    Tracer,
+    attach_operator_spans,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Counter",
+    "DdlRequest",
+    "ExplainRequest",
+    "Gauge",
+    "Histogram",
+    "IngestRequest",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "PrepareRequest",
+    "QueryManyRequest",
+    "QueryRequest",
+    "QueryService",
+    "RingBufferExporter",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceHTTPError",
+    "ServiceResponse",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "asgi_server_available",
+    "attach_operator_spans",
+    "make_asgi_app",
+    "relation_from_payload",
+    "relation_to_payload",
+]

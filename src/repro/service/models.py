@@ -1,0 +1,318 @@
+"""Versioned request / response models for the query service.
+
+Every endpoint speaks plain JSON objects described by the dataclasses
+here.  The contract is deliberately strict:
+
+* every request may carry a ``schema_version`` field (defaulting to
+  :data:`SCHEMA_VERSION`); a version this server does not speak is
+  rejected, so a future incompatible change bumps the constant instead of
+  silently reinterpreting old payloads;
+* unknown fields, missing required fields and wrongly-typed fields all
+  raise :class:`~repro.errors.RequestValidationError`, which the app layer
+  maps to a typed HTTP 400 with a structured error body — never a stack
+  trace, never a partially-applied request;
+* responses embed the same ``schema_version`` plus the per-request
+  ``request_id`` and ``trace_id``.
+
+Results travel as the JSON relation codec (:func:`relation_to_payload` /
+:func:`relation_from_payload`): columns plus rows, with non-atomic cells
+tagged — ``{"$type": "dewey"}`` for structural identifiers,
+``{"$type": "node"}`` for content references (subtree plus its Dewey ID),
+``{"$type": "relation"}`` for nested relations — so two encodings are
+bytewise-comparable and a client can rebuild a faithful
+:class:`~repro.algebra.tuples.Relation`.
+
+>>> request = QueryRequest.from_payload({"query": "site(//item[ID])"})
+>>> request.query
+'site(//item[ID])'
+>>> QueryRequest.from_payload({"query": 1})
+Traceback (most recent call last):
+    ...
+repro.errors.RequestValidationError: field 'query' must be a string
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.algebra.tuples import Relation
+from repro.errors import RequestValidationError, ServiceError
+from repro.ingest.changelog import decode_subtree, encode_subtree
+from repro.xmltree.ids import DeweyID
+from repro.xmltree.node import XMLNode
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DdlRequest",
+    "ExplainRequest",
+    "IngestRequest",
+    "PrepareRequest",
+    "QueryManyRequest",
+    "QueryRequest",
+    "relation_from_payload",
+    "relation_to_payload",
+]
+
+SCHEMA_VERSION = 1
+"""The request/response schema generation this server speaks.  Embedded in
+every response; requests carrying a different version are rejected with a
+typed 400 instead of being reinterpreted."""
+
+_MISSING = object()
+
+
+def _type_name(expected) -> str:
+    names = {
+        str: "a string",
+        bool: "a boolean",
+        int: "an integer",
+        list: "an array",
+        dict: "an object",
+    }
+    return names.get(expected, expected.__name__)
+
+
+class _RequestModel:
+    """Shared strict-validation constructor for the request dataclasses.
+
+    Subclasses declare ``_TYPES`` (field name → expected python type) and
+    optionally override :meth:`_validate` for cross-field rules.
+    """
+
+    _TYPES: dict = {}
+
+    @classmethod
+    def from_payload(cls, payload) -> "_RequestModel":
+        if not isinstance(payload, dict):
+            raise RequestValidationError("request body must be a JSON object")
+        data = dict(payload)
+        version = data.pop("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise RequestValidationError(
+                f"unsupported schema_version {version!r} "
+                f"(this server speaks {SCHEMA_VERSION})"
+            )
+        kwargs = {}
+        for field in fields(cls):
+            value = data.pop(field.name, _MISSING)
+            if value is _MISSING:
+                continue  # dataclass defaults cover optionals; required
+                # fields are re-checked below because their default is None
+            expected = cls._TYPES[field.name]
+            # bool is an int subclass; an explicit bool where an int/str is
+            # expected is almost certainly a client bug — reject it
+            if value is not None and (
+                not isinstance(value, expected)
+                or (expected is not bool and isinstance(value, bool))
+            ):
+                raise RequestValidationError(
+                    f"field {field.name!r} must be {_type_name(expected)}"
+                )
+            kwargs[field.name] = value
+        if data:
+            raise RequestValidationError(
+                f"unknown field(s) {sorted(data)} for {cls.__name__}"
+            )
+        instance = cls(**kwargs)
+        instance._validate()
+        return instance
+
+    def _require(self, name: str) -> None:
+        if getattr(self, name) is None:
+            raise RequestValidationError(f"missing required field {name!r}")
+
+    def _validate(self) -> None:
+        pass
+
+
+@dataclass
+class QueryRequest(_RequestModel):
+    """``POST /query`` — answer one query (pattern-DSL text)."""
+
+    query: Optional[str] = None
+    name: Optional[str] = None
+
+    _TYPES = {"query": str, "name": str}
+
+    def _validate(self) -> None:
+        self._require("query")
+
+
+@dataclass
+class QueryManyRequest(_RequestModel):
+    """``POST /query_many`` — answer a whole workload, in input order."""
+
+    queries: Optional[list] = None
+
+    _TYPES = {"queries": list}
+
+    def _validate(self) -> None:
+        self._require("queries")
+        if not self.queries:
+            raise RequestValidationError("'queries' must be a non-empty array")
+        for position, query in enumerate(self.queries):
+            if not isinstance(query, str):
+                raise RequestValidationError(
+                    f"'queries[{position}]' must be a string"
+                )
+
+
+@dataclass
+class PrepareRequest(_RequestModel):
+    """``POST /prepare`` — plan once, get a statement id to execute many."""
+
+    query: Optional[str] = None
+    name: Optional[str] = None
+
+    _TYPES = {"query": str, "name": str}
+
+    def _validate(self) -> None:
+        self._require("query")
+
+
+@dataclass
+class ExplainRequest(_RequestModel):
+    """``POST /explain`` — the structured plan report, optionally analyzed."""
+
+    query: Optional[str] = None
+    analyze: bool = False
+    name: Optional[str] = None
+
+    _TYPES = {"query": str, "analyze": bool, "name": str}
+
+    def _validate(self) -> None:
+        self._require("query")
+
+
+DDL_OPS = ("create_view", "drop_view")
+INGEST_OPS = ("insert", "delete")
+
+
+@dataclass
+class DdlRequest(_RequestModel):
+    """``POST /ddl`` — view DDL (``create_view`` / ``drop_view``)."""
+
+    op: Optional[str] = None
+    name: Optional[str] = None
+    pattern: Optional[str] = None
+    materialize: bool = True
+
+    _TYPES = {"op": str, "name": str, "pattern": str, "materialize": bool}
+
+    def _validate(self) -> None:
+        self._require("op")
+        self._require("name")
+        if self.op not in DDL_OPS:
+            raise RequestValidationError(
+                f"unknown ddl op {self.op!r} (expected one of {list(DDL_OPS)})"
+            )
+        if self.op == "create_view" and self.pattern is None:
+            raise RequestValidationError(
+                "ddl op 'create_view' requires a 'pattern'"
+            )
+
+
+@dataclass
+class IngestRequest(_RequestModel):
+    """``POST /ingest`` — live-document mutation (subtree insert / delete).
+
+    ``subtree`` uses the change log's nested ``[label, value, children]``
+    triple encoding (:func:`repro.ingest.changelog.encode_subtree`).
+    """
+
+    op: Optional[str] = None
+    parent: Optional[str] = None
+    subtree: Optional[list] = None
+    dewey: Optional[str] = None
+
+    _TYPES = {"op": str, "parent": str, "subtree": list, "dewey": str}
+
+    def _validate(self) -> None:
+        self._require("op")
+        if self.op not in INGEST_OPS:
+            raise RequestValidationError(
+                f"unknown ingest op {self.op!r} "
+                f"(expected one of {list(INGEST_OPS)})"
+            )
+        if self.op == "insert":
+            self._require("parent")
+            self._require("subtree")
+        else:
+            self._require("dewey")
+
+    def decoded_subtree(self) -> XMLNode:
+        """The ``subtree`` triple as a detached :class:`XMLNode` tree."""
+        try:
+            return decode_subtree(self.subtree)
+        except Exception as exc:
+            raise RequestValidationError(
+                f"malformed 'subtree' encoding: {exc}"
+            ) from exc
+
+
+# --------------------------------------------------------------------------- #
+# the relation codec
+# --------------------------------------------------------------------------- #
+def _encode_cell(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, DeweyID):
+        return {"$type": "dewey", "id": str(value)}
+    if isinstance(value, XMLNode):
+        return {
+            "$type": "node",
+            "id": str(value.dewey) if value.dewey is not None else None,
+            "tree": encode_subtree(value),
+        }
+    if isinstance(value, Relation):
+        return {"$type": "relation", "value": relation_to_payload(value)}
+    raise ServiceError(f"cannot encode result cell {value!r} as JSON")
+
+
+def _decode_cell(value):
+    if not isinstance(value, dict):
+        return value
+    kind = value.get("$type")
+    if kind == "dewey":
+        return DeweyID.from_string(value["id"])
+    if kind == "node":
+        node = decode_subtree(value["tree"])
+        if value.get("id") is not None:
+            node.dewey = DeweyID.from_string(value["id"])
+        return node
+    if kind == "relation":
+        return relation_from_payload(value["value"])
+    raise ServiceError(f"cannot decode result cell {value!r}")
+
+
+def relation_to_payload(relation: Relation) -> dict:
+    """A :class:`Relation` as a JSON-safe dict (stable under re-encoding).
+
+    >>> payload = relation_to_payload(Relation(["V"], [["pen"], ["ink"]]))
+    >>> payload["columns"], payload["row_count"]
+    (['V'], 2)
+    >>> relation_from_payload(payload).rows
+    [('pen',), ('ink',)]
+    """
+    return {
+        "columns": list(relation.column_names),
+        "rows": [[_encode_cell(cell) for cell in row] for row in relation.rows],
+        "row_count": len(relation),
+    }
+
+
+def relation_from_payload(payload: dict) -> Relation:
+    """Inverse of :func:`relation_to_payload`.
+
+    Dewey cells come back as :class:`DeweyID`, node cells as rebuilt
+    (detached) subtrees carrying their original Dewey ID, nested relations
+    recursively — re-encoding the result yields the identical payload,
+    which is how the load tester asserts row identity across HTTP.
+    """
+    try:
+        columns = payload["columns"]
+        rows = [tuple(_decode_cell(cell) for cell in row) for row in payload["rows"]]
+    except (KeyError, TypeError) as exc:
+        raise ServiceError(f"malformed relation payload: {exc}") from exc
+    return Relation(columns, rows)

@@ -1,0 +1,340 @@
+"""HTTP transport for the query service: stdlib server, client, ASGI.
+
+:class:`QueryService` wraps a :class:`~repro.service.app.ServiceApp` in a
+``http.server.ThreadingHTTPServer`` — one daemon thread accepts
+connections, one thread per request parses JSON and calls the app.  The
+app serializes database access internally, so the threaded transport is
+safe by construction.  No framework, no event loop, no dependency: the
+whole service tier runs on the standard library, as CI (no network) and
+the paper-reproduction charter require.
+
+For deployments that *do* have an ASGI server available (uvicorn,
+hypercorn, …), :func:`make_asgi_app` adapts the same app to the ASGI 3
+protocol.  The adapter itself is dependency-free — ASGI is just an async
+callable convention — so it is importable and unit-testable everywhere;
+only *serving* it needs an external package, probed with
+:func:`asgi_server_available` rather than imported unconditionally.
+
+:class:`ServiceClient` is the matching stdlib (urllib) client used by the
+tests, the quickstart example and the load tester.
+
+>>> from repro import Database, parse_parenthesized
+>>> db = Database(parse_parenthesized('site(item(name="pen"))'))
+>>> _ = db.create_view("site(//item[ID](/name[V]))", name="v")
+>>> with QueryService(db) as service:
+...     client = ServiceClient(service.url)
+...     status, body = client.post("/query", {"query": "site(//item[ID](/name[V]))"})
+>>> status, body["result"]["row_count"]
+(200, 1)
+>>> db.close()
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.service.app import ServiceApp, ServiceResponse
+from repro.service.models import SCHEMA_VERSION
+from repro.session.database import Database
+
+__all__ = [
+    "QueryService",
+    "ServiceClient",
+    "asgi_server_available",
+    "make_asgi_app",
+]
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Parses HTTP, delegates to the app, writes the JSON (or text) reply."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-query-service"
+
+    # the ThreadingHTTPServer subclass carries the app
+    @property
+    def app(self) -> ServiceApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the metrics/tracing layer's job
+
+    def _read_payload(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _BadRequestBody(f"request body is not valid JSON: {exc}")
+
+    def _write(self, response: ServiceResponse) -> None:
+        if isinstance(response.body, str):
+            payload = response.body.encode("utf-8")
+        else:
+            payload = json.dumps(response.body).encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("X-Request-ID", response.request_id)
+        if response.trace_id:
+            self.send_header("X-Trace-ID", response.trace_id)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            payload = self._read_payload()
+        except _BadRequestBody as exc:
+            body = {
+                "schema_version": SCHEMA_VERSION,
+                "request_id": None,
+                "trace_id": None,
+                "error": {"code": "bad-json", "message": str(exc)},
+            }
+            self._write(ServiceResponse(400, body, request_id=""))
+            return
+        self._write(self.app.handle(method, self.path, payload))
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+
+class _BadRequestBody(ServiceError):
+    pass
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, app: ServiceApp):
+        super().__init__(address, _RequestHandler)
+        self.app = app
+
+
+class QueryService:
+    """The query service: one database, one listening socket, many threads.
+
+    Pass a :class:`~repro.session.database.Database` (an app is built
+    around it) or a ready-made :class:`~repro.service.app.ServiceApp`.
+    ``port=0`` (the default) binds an ephemeral port — read :attr:`url`
+    after :meth:`start`.  Context-manager use starts and stops the server;
+    the wrapped database is *not* closed (its lifecycle belongs to the
+    caller).
+    """
+
+    def __init__(
+        self,
+        database_or_app: Database | ServiceApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **app_options,
+    ):
+        if isinstance(database_or_app, ServiceApp):
+            if app_options:
+                raise ServiceError(
+                    "app options only apply when constructing the app here; "
+                    "pass a Database, or configure the ServiceApp directly"
+                )
+            self.app = database_or_app
+        else:
+            self.app = ServiceApp(database_or_app, **app_options)
+        self._address = (host, port)
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def url(self) -> str:
+        """The service base URL (available once started)."""
+        if self._server is None:
+            raise ServiceError("the service is not running; call start()")
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    def start(self) -> "QueryService":
+        """Bind the socket and serve requests on a daemon thread."""
+        if self._server is not None:
+            raise ServiceError("the service is already running")
+        self._server = _Server(self._address, self.app)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-query-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, join the serving thread, release the socket."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._server = None
+        self._thread = None
+        self.app.close()
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.url if self.running else "stopped"
+        return f"<QueryService {state}>"
+
+
+class ServiceClient:
+    """A minimal stdlib JSON client for the service (tests, tools, examples).
+
+    Every method returns ``(status, body)`` where ``body`` is the decoded
+    JSON object — or the raw text for non-JSON responses like
+    ``/metrics``.  HTTP error statuses are returned, not raised: the
+    service's error bodies are part of its contract and callers assert on
+    them.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload=None):
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                status, raw = reply.status, reply.read()
+                content_type = reply.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as error:
+            status, raw = error.code, error.read()
+            content_type = error.headers.get("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return status, json.loads(raw)
+        return status, raw.decode("utf-8")
+
+    def get(self, path: str):
+        """``GET path`` → ``(status, body)``."""
+        return self._request("GET", path)
+
+    def post(self, path: str, payload: Optional[dict] = None):
+        """``POST path`` with a JSON body → ``(status, body)``."""
+        return self._request("POST", path, payload if payload is not None else {})
+
+
+# --------------------------------------------------------------------------- #
+# optional ASGI adapter (the protocol needs no dependency; serving it does)
+# --------------------------------------------------------------------------- #
+def asgi_server_available() -> bool:
+    """Whether an ASGI server (uvicorn) is importable in this environment.
+
+    The adapter below works regardless; this probe only gates *serving* it
+    — CI has no network, so nothing here ever imports uvicorn eagerly or
+    lists it as a dependency.
+    """
+    return importlib.util.find_spec("uvicorn") is not None
+
+
+def make_asgi_app(app: ServiceApp):
+    """Adapt a :class:`ServiceApp` to the ASGI 3 protocol.
+
+    Returns an ``async def application(scope, receive, send)`` closure
+    usable under any ASGI server (``uvicorn repro_asgi:application`` style)
+    — and directly awaitable in tests with stub ``receive``/``send``
+    callables, keeping the adapter covered without any server installed.
+    The app's own lock makes concurrent ASGI workers safe, exactly as with
+    the threaded stdlib transport.
+    """
+
+    async def application(scope, receive, send):
+        if scope["type"] != "http":  # lifespan etc.: politely decline
+            raise ServiceError(f"unsupported ASGI scope {scope['type']!r}")
+        chunks = []
+        while True:
+            message = await receive()
+            chunks.append(message.get("body", b""))
+            if not message.get("more_body"):
+                break
+        raw = b"".join(chunks)
+        if raw:
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                payload = None
+                response = ServiceResponse(
+                    400,
+                    {
+                        "schema_version": SCHEMA_VERSION,
+                        "request_id": None,
+                        "trace_id": None,
+                        "error": {
+                            "code": "bad-json",
+                            "message": f"request body is not valid JSON: {exc}",
+                        },
+                    },
+                    request_id="",
+                )
+                await _send_asgi(send, response)
+                return
+        else:
+            payload = None
+        response = app.handle(scope["method"], scope["path"], payload)
+        await _send_asgi(send, response)
+
+    return application
+
+
+async def _send_asgi(send, response: ServiceResponse) -> None:
+    if isinstance(response.body, str):
+        payload = response.body.encode("utf-8")
+    else:
+        payload = json.dumps(response.body).encode("utf-8")
+    headers = [
+        (b"content-type", response.content_type.encode("ascii")),
+        (b"content-length", str(len(payload)).encode("ascii")),
+        (b"x-request-id", response.request_id.encode("ascii")),
+    ]
+    if response.trace_id:
+        headers.append((b"x-trace-id", response.trace_id.encode("ascii")))
+    await send(
+        {
+            "type": "http.response.start",
+            "status": response.status,
+            "headers": headers,
+        }
+    )
+    await send({"type": "http.response.body", "body": payload})
+
+
+def find_free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (for tools that must name one up front)."""
+    with socket.socket() as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]

@@ -858,18 +858,22 @@ class Database:
         """Parse + rewrite + plan once; run (and explain) many times."""
         return PreparedQuery(self, self._as_pattern(query, name))
 
-    def query(self, query: TreePattern | str, name: Optional[str] = None) -> Relation:
-        """One-shot query answering, served through the plan cache.
+    def plan_query(
+        self, query: TreePattern | str, name: Optional[str] = None
+    ) -> PlanChoice:
+        """Rewrite + plan one query through the plan cache (no execution).
 
         The query's canonical fingerprint
         (:func:`~repro.canonical.hashing.pattern_key`) is looked up in
         :attr:`plan_cache` first: a hit skips the rewriting search and the
-        planner entirely and goes straight to execution — most of the
-        prepared-query speedup, with none of the call-site bookkeeping.  A
-        miss plans as before and caches the found choice.  The cache is
-        keyed to ``views.version``, so view DDL can never serve a stale
-        plan; queries with *no* rewriting are not cached (they raise, and a
-        later DDL might make them answerable).
+        planner entirely.  A miss plans as before and caches the found
+        choice.  The cache is keyed to ``views.version``, so view DDL can
+        never serve a stale plan; queries with *no* rewriting are not
+        cached (they raise, and a later DDL might make them answerable).
+
+        This is the planning half of :meth:`query`, exposed so out-of-core
+        callers — above all the HTTP service tier — can time and trace the
+        planning and execution phases separately.
         """
         pattern = self._as_pattern(query, name)
         version = self.views.version
@@ -883,8 +887,54 @@ class Database:
                     f"views {sorted(self.views.names)}"
                 )
             self._plan_cache.store(fingerprint, version, choice)
-        executor = PlanExecutor(self.views, executor=self.executor)
-        return executor.execute(choice.best.plan_operator)
+        return choice
+
+    def execute_choice(
+        self, choice: PlanChoice, profile: bool = False
+    ) -> tuple[Relation, PlanExecutor]:
+        """Execute an already-planned choice; returns (result, executor).
+
+        The execution half of :meth:`query`.  With ``profile=True`` the
+        returned executor carries per-operator
+        :class:`~repro.algebra.execution.OperatorRunStats` — hand it to
+        :meth:`explain_choice` to export the measurements as a structured
+        report (the service tier turns them into trace spans).
+        """
+        executor = PlanExecutor(
+            self.views, executor=self.executor, profile=profile
+        )
+        result = executor.execute(choice.best.plan_operator)
+        return result, executor
+
+    def explain_choice(
+        self,
+        choice: PlanChoice,
+        executor: Optional[PlanExecutor] = None,
+        elapsed: Optional[float] = None,
+    ) -> ExplainReport:
+        """The structured report for a planned choice, without re-planning.
+
+        Pass the profiling ``executor`` returned by
+        ``execute_choice(choice, profile=True)`` (plus the measured wall
+        clock) to get an ``ANALYZE`` report from a run that already
+        happened — unlike :meth:`PreparedQuery.explain`, nothing is
+        executed here.
+        """
+        return build_explain_report(
+            choice, self._planner.cost_model.statistics, executor, elapsed
+        )
+
+    def query(self, query: TreePattern | str, name: Optional[str] = None) -> Relation:
+        """One-shot query answering, served through the plan cache.
+
+        Sugar for :meth:`plan_query` + :meth:`execute_choice` — a repeated
+        query hits the fingerprint-keyed cache and goes straight to
+        execution, most of the prepared-query speedup with none of the
+        call-site bookkeeping.
+        """
+        choice = self.plan_query(query, name)
+        result, _ = self.execute_choice(choice)
+        return result
 
     def explain(
         self,
@@ -1006,6 +1056,53 @@ class Database:
         return self._rewriter.rewrite_many(
             patterns, config, workers=workers, execute=execute
         )
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """One aggregated observability snapshot of the whole session.
+
+        Collects every counter the layers already expose — plan-cache
+        hit/miss/invalidation, live-document :attr:`maintenance_stats`,
+        shared-extent-store publish counts, value-index build/attach/probe
+        counts, worker-pool state — into a single plain dict, so monitoring
+        surfaces (above all the service tier's ``/metrics`` endpoint)
+        consume one stable shape instead of reaching into internals.
+        Purely a read: taking a snapshot never builds pools, publishes
+        extents or flushes caches.
+        """
+        from repro.views.indexes import INDEX_STATS
+
+        engine = self._rewriter._batch_engine
+        store = engine.extent_store if engine is not None else None
+        return {
+            "document": self._document.name if self._document else None,
+            "summary": {
+                "name": self._summary.name,
+                "size": self._summary.size,
+            },
+            "views": {
+                "count": len(self.views),
+                "version": self.views.version,
+                "materialized": sum(
+                    1 for view in self.views if view.is_materialized
+                ),
+            },
+            "executor": self.executor,
+            "maintenance_mode": self.maintenance,
+            "plan_cache": self._plan_cache.info(),
+            "maintenance": dict(self.maintenance_stats),
+            "extent_store": {
+                "published": store is not None,
+                "publish_count": store.publish_count if store is not None else 0,
+            },
+            "indexes": INDEX_STATS.info(),
+            "worker_pool": {
+                "active": engine is not None and engine._pool is not None,
+                "workers": engine.workers if engine is not None else 0,
+            },
+        }
 
     # ------------------------------------------------------------------ #
     # lifecycle

@@ -72,6 +72,29 @@ class ExplainOperator:
     actual_seconds: Optional[float] = None
     """Measured wall time of this operator alone (``analyze`` runs only)."""
 
+    def to_dict(self) -> dict:
+        """This entry as a JSON-safe plain dict (see :meth:`from_dict`)."""
+        return {
+            "description": self.description,
+            "depth": self.depth,
+            "estimated_rows": self.estimated_rows,
+            "estimated_cost": self.estimated_cost,
+            "cumulative_cost": self.cumulative_cost,
+            "order_decision": self.order_decision,
+            "access_path": self.access_path,
+            "shared": self.shared,
+            "actual_rows": self.actual_rows,
+            "actual_seconds": self.actual_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplainOperator":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(**{key: data[key] for key in cls.__dataclass_fields__})
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed explain operator entry: {exc}") from exc
+
     def render(self) -> str:
         """The indented one-line form used by :meth:`ExplainReport.to_text`."""
         annotations = [f"rows≈{self.estimated_rows:.0f}", f"cost≈{self.cumulative_cost:.0f}"]
@@ -128,6 +151,60 @@ class ExplainReport:
     def operator_count(self) -> int:
         """Distinct operators listed (shared repeats excluded)."""
         return sum(1 for entry in self.operators if not entry.shared)
+
+    def to_dict(self) -> dict:
+        """The whole report as a JSON-safe plain dict.
+
+        Everything :meth:`to_text` renders survives — tuples become lists,
+        operator entries become dicts — and :meth:`from_dict` rebuilds an
+        equal report, so structured ``EXPLAIN`` output can cross process
+        boundaries (the service tier's ``/explain`` endpoint returns
+        exactly this shape).
+
+        >>> report = ExplainReport(
+        ...     query_name="q", views_used=("v",), is_union=False,
+        ...     chosen_cost=12.0, estimated_rows=3.0,
+        ...     alternative_costs=(12.0, 40.0),
+        ...     operators=[ExplainOperator("ViewScan(v)", 0, 3.0, 12.0, 12.0)],
+        ... )
+        >>> ExplainReport.from_dict(report.to_dict()) == report
+        True
+        """
+        return {
+            "query_name": self.query_name,
+            "views_used": list(self.views_used),
+            "is_union": self.is_union,
+            "chosen_cost": self.chosen_cost,
+            "estimated_rows": self.estimated_rows,
+            "alternative_costs": list(self.alternative_costs),
+            "operators": [entry.to_dict() for entry in self.operators],
+            "analyzed": self.analyzed,
+            "actual_rows": self.actual_rows,
+            "actual_seconds": self.actual_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplainReport":
+        """Inverse of :meth:`to_dict` (raises :class:`ValueError` on
+        malformed input, never a silently partial report)."""
+        try:
+            return cls(
+                query_name=data["query_name"],
+                views_used=tuple(data["views_used"]),
+                is_union=data["is_union"],
+                chosen_cost=data["chosen_cost"],
+                estimated_rows=data["estimated_rows"],
+                alternative_costs=tuple(data["alternative_costs"]),
+                operators=[
+                    ExplainOperator.from_dict(entry)
+                    for entry in data.get("operators", [])
+                ],
+                analyzed=data.get("analyzed", False),
+                actual_rows=data.get("actual_rows"),
+                actual_seconds=data.get("actual_seconds"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed explain report payload: {exc}") from exc
 
     def to_text(self) -> str:
         """The conventional indented ``EXPLAIN`` rendering."""

@@ -36,6 +36,7 @@ DIAGRAM_MODULES = [
     "algebra",
     "workloads",
     "experiments",
+    "service",
 ]
 
 EXPECTED_DOCS = [
@@ -48,6 +49,7 @@ EXPECTED_DOCS = [
     "execution.md",
     "indexes.md",
     "ingestion.md",
+    "service.md",
 ]
 
 
@@ -86,5 +88,5 @@ def test_readme_links_into_the_docs_tree():
     for target in ["docs/api.md", "docs/architecture.md", "docs/cost-model.md",
                    "docs/containment.md", "docs/benchmarks.md",
                    "docs/execution.md", "docs/indexes.md",
-                   "docs/ingestion.md"]:
+                   "docs/ingestion.md", "docs/service.md"]:
         assert target in readme, f"README does not link {target}"

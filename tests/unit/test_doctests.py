@@ -27,7 +27,12 @@ import repro.ingest.streaming
 import repro.planning.planner
 import repro.rewriting.batch
 import repro.rewriting.rewriter
+import repro.service.metrics
+import repro.service.models
+import repro.service.server
+import repro.service.tracing
 import repro.session.database
+import repro.session.explain
 import repro.views.catalog
 import repro.views.extent_store
 import repro.views.indexes
@@ -40,7 +45,12 @@ DOCTEST_MODULES = [
     repro.planning.planner,
     repro.rewriting.batch,
     repro.rewriting.rewriter,
+    repro.service.metrics,
+    repro.service.models,
+    repro.service.server,
+    repro.service.tracing,
     repro.session.database,
+    repro.session.explain,
     repro.views.catalog,
     repro.views.extent_store,
     repro.views.indexes,

@@ -217,3 +217,60 @@ def test_query_many_matches_single_queries(db):
 def test_query_many_raises_on_unanswerable_query(db):
     with pytest.raises(RewritingError):
         db.query_many([ITEM_NAMES, "site(//mailbox[ID])"])
+
+
+# --------------------------------------------------------------------------- #
+# the aggregated observability snapshot
+# --------------------------------------------------------------------------- #
+def test_stats_aggregates_every_layer(db):
+    snapshot = db.stats()
+    assert snapshot["document"] == "auction"
+    assert snapshot["summary"]["size"] > 0
+    assert snapshot["views"] == {"count": 1, "version": 1, "materialized": 1}
+    assert snapshot["executor"] == "vectorized"
+    assert snapshot["maintenance_mode"] == "incremental"
+    assert snapshot["plan_cache"]["hits"] == 0
+    assert snapshot["extent_store"] == {"published": False, "publish_count": 0}
+    assert set(snapshot["maintenance"]) == {
+        "delta_applied", "rematerialized",
+        "summary_incremental", "summary_rebuilt",
+    }
+    assert snapshot["worker_pool"] == {"active": False, "workers": 0}
+    assert {"builds", "attaches", "probes"} <= set(snapshot["indexes"])
+
+
+def test_stats_tracks_queries_and_ddl(db):
+    db.query(ITEM_NAMES)
+    db.query(ITEM_NAMES)  # second one hits the plan cache
+    db.create_view("site(//keyword[ID,V])", name="kw")
+    snapshot = db.stats()
+    assert snapshot["plan_cache"]["hits"] == 1
+    assert snapshot["plan_cache"]["misses"] == 1
+    assert snapshot["views"]["count"] == 2
+    assert snapshot["views"]["version"] == 2
+
+
+def test_stats_is_a_pure_read(db):
+    before = db.stats()
+    after = db.stats()
+    assert before == after, "taking a snapshot must not move any counter"
+
+
+def test_plan_query_execute_choice_split_matches_query(db, auction_document):
+    choice = db.plan_query(ITEM_NAMES, name="q")
+    result, executor = db.execute_choice(choice)
+    assert result.same_contents(db.query(ITEM_NAMES))
+    assert executor.run_stats(choice.best.plan_operator) is None  # no profile
+
+
+def test_execute_choice_profile_feeds_explain_choice(db):
+    choice = db.plan_query(ITEM_NAMES, name="q")
+    result, executor = db.execute_choice(choice, profile=True)
+    report = db.explain_choice(choice, executor, elapsed=0.5)
+    assert report.analyzed
+    assert report.actual_rows == len(result)
+    assert report.actual_seconds == 0.5
+    for entry in report.operators:
+        assert entry.actual_rows is not None
+    # without the executor the same choice explains un-analyzed
+    assert db.explain_choice(choice).analyzed is False
